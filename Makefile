@@ -1,0 +1,32 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples tables clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/bootstrap_analysis.py
+	$(PYTHON) examples/noise_budget.py
+	$(PYTHON) examples/private_image_filter.py
+	$(PYTHON) examples/encrypted_logistic_regression.py
+	$(PYTHON) examples/accelerator_comparison.py
+	$(PYTHON) examples/parameter_search.py
+
+tables:
+	$(PYTHON) -m repro table4
+	$(PYTHON) -m repro table6
+	$(PYTHON) -m repro fig2
+	$(PYTHON) -m repro fig3
+	$(PYTHON) -m repro balance
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

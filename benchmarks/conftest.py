@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper and records
+the reproduced numbers in ``benchmark.extra_info`` (visible in the
+pytest-benchmark JSON output) in addition to printing them.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro(target): which paper table/figure this regenerates"
+    )

@@ -1,0 +1,139 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each sweep isolates one knob of the memory-aware design space and checks
+the trend the paper's analysis predicts:
+
+* **cache size** — DRAM traffic is a step function of the optimization
+  thresholds (1 MB / ~2*dnum MB / ~alpha MB), then flat: memory beyond the
+  O(alpha) working set buys nothing.
+* **dnum** — smaller dnum means fewer, larger digits: less key traffic per
+  key switch (the core reason Table 5's optimum picks dnum=2).
+* **fftIter** — more, smaller DFT stages cut per-stage matrix cost but
+  consume more levels.
+* **individual optimizations** — each MAD flag alone against the baseline,
+  isolating its contribution (SimFHE's "toggle each optimization
+  independently").
+"""
+
+import pytest
+
+from repro.params import BASELINE_JUNG, CkksParams
+from repro.perf import BootstrapModel, CacheModel, MADConfig
+
+
+@pytest.mark.repro("Ablation: cache size")
+def test_ablation_cache_size(benchmark):
+    def sweep():
+        results = {}
+        for mb in (0.5, 1, 2, 6, 16, 32, 64, 256):
+            cost = BootstrapModel(
+                BASELINE_JUNG, MADConfig.caching_only(), CacheModel.from_mb(mb)
+            ).total_cost()
+            results[mb] = cost.traffic.total / 1e9
+        return results
+
+    results = benchmark(sweep)
+    print("\nBootstrap DRAM vs cache size (caching opts, baseline params)")
+    for mb, gb in results.items():
+        print(f"  {mb:6.1f} MB: {gb:7.1f} GB")
+        benchmark.extra_info[f"{mb}MB"] = round(gb, 1)
+    values = list(results.values())
+    # Monotone non-increasing, and flat beyond the O(alpha) threshold.
+    assert values == sorted(values, reverse=True)
+    assert results[32] == results[64] == results[256]
+    assert results[0.5] > results[32]
+
+
+@pytest.mark.repro("Ablation: dnum")
+def test_ablation_dnum(benchmark):
+    def sweep():
+        results = {}
+        for dnum in (1, 2, 3, 4, 6):
+            params = CkksParams(
+                log_n=17, log_q=50, max_limbs=35, dnum=dnum, fft_iter=3
+            )
+            cost = BootstrapModel(params, MADConfig.all()).total_cost()
+            results[dnum] = {
+                "key_gb": cost.traffic.key_read / 1e9,
+                "total_gb": cost.gigabytes(),
+                "gops": cost.giga_ops(),
+                "log_qp": params.log_qp,
+            }
+        return results
+
+    results = benchmark(sweep)
+    print("\nBootstrap vs dnum (L=35, q=50, all optimizations)")
+    for dnum, row in results.items():
+        print(
+            f"  dnum={dnum}: keys {row['key_gb']:6.1f} GB, total "
+            f"{row['total_gb']:6.1f} GB, {row['gops']:6.1f} Gops, "
+            f"log PQ={row['log_qp']}"
+        )
+    # Smaller dnum -> fewer digits -> less switching-key traffic.
+    key_gb = [results[d]["key_gb"] for d in (1, 2, 3, 4, 6)]
+    assert key_gb == sorted(key_gb)
+    # ...at the price of a larger raised modulus (security pressure).
+    assert results[1]["log_qp"] > results[6]["log_qp"]
+
+
+@pytest.mark.repro("Ablation: fftIter")
+def test_ablation_fft_iter(benchmark):
+    def sweep():
+        results = {}
+        for fft_iter in (2, 3, 4, 6, 8):
+            params = CkksParams(
+                log_n=17, log_q=50, max_limbs=40, dnum=2, fft_iter=fft_iter
+            )
+            cost = BootstrapModel(params, MADConfig.all()).total_cost()
+            results[fft_iter] = {
+                "total_gb": cost.gigabytes(),
+                "log_q1": params.log_q1,
+            }
+        return results
+
+    results = benchmark(sweep)
+    print("\nBootstrap vs fftIter (L=40, q=50, dnum=2, all optimizations)")
+    for fft_iter, row in results.items():
+        print(
+            f"  fftIter={fft_iter}: {row['total_gb']:6.1f} GB, "
+            f"log Q1 after bootstrap = {row['log_q1']}"
+        )
+    # More iterations leave fewer levels after bootstrapping...
+    q1 = [results[f]["log_q1"] for f in (2, 3, 4, 6, 8)]
+    assert q1 == sorted(q1, reverse=True)
+
+
+@pytest.mark.repro("Ablation: individual optimizations")
+def test_ablation_individual_flags(benchmark):
+    flags = (
+        "cache_o1",
+        "cache_beta",
+        "cache_alpha",
+        "mod_down_merge",
+        "mod_down_hoist",
+        "key_compression",
+    )
+
+    def sweep():
+        baseline = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+        results = {"baseline": (baseline.giga_ops(), baseline.gigabytes())}
+        for flag in flags:
+            cost = BootstrapModel(
+                BASELINE_JUNG, MADConfig.none().with_(**{flag: True})
+            ).total_cost()
+            results[flag] = (cost.giga_ops(), cost.gigabytes())
+        return results
+
+    results = benchmark(sweep)
+    print("\nEach optimization alone (baseline params)")
+    base_ops, base_gb = results["baseline"]
+    for name, (gops, gb) in results.items():
+        print(f"  {name:16} {gops:7.1f} Gops  {gb:7.1f} GB")
+        benchmark.extra_info[name] = round(gb, 1)
+    # Every flag alone must not increase traffic; caching flags must not
+    # change ops.
+    for flag in flags:
+        gops, gb = results[flag]
+        assert gb <= base_gb + 1e-9
+        if flag.startswith("cache"):
+            assert gops == pytest.approx(base_ops)

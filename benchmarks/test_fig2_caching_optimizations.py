@@ -1,0 +1,41 @@
+"""Figure 2 — cumulative DRAM-transfer impact of the caching optimizations
+on one bootstrapping operation (baseline Jung et al. parameters).
+
+Paper reductions vs baseline: O(1)-limb 15%, O(beta) 22%, O(alpha) 44%,
+limb re-ordering 52%; switching-key reads stay constant throughout."""
+
+import pytest
+
+from repro.report import generate_fig2
+
+PAPER_REDUCTIONS = {
+    "1-limb Cache": 0.15,
+    "beta-limb Cache": 0.22,
+    "alpha-limb Cache": 0.44,
+    "Limb Re-order": 0.52,
+}
+
+
+@pytest.mark.repro("Figure 2")
+def test_fig2_caching_optimizations(benchmark):
+    points = benchmark(generate_fig2)
+    print(f"\n{'Step':18} {'DRAM GB':>9} {'ct read':>9} {'ct write':>9} "
+          f"{'keys':>7} {'ours':>7} {'paper':>7}")
+    for point in points:
+        paper = PAPER_REDUCTIONS.get(point.label)
+        paper_str = f"{paper:7.0%}" if paper is not None else "      -"
+        print(
+            f"{point.label:18} {point.dram_gb:9.1f} {point.ct_read_gb:9.1f} "
+            f"{point.ct_write_gb:9.1f} {point.key_read_gb:7.1f} "
+            f"{point.reduction_vs_baseline:7.0%} {paper_str}"
+        )
+        benchmark.extra_info[point.label] = round(point.dram_gb, 1)
+
+    # Shape assertions: monotone cumulative reduction, constant key reads,
+    # final reduction of the right magnitude.
+    totals = [p.dram_gb for p in points]
+    assert totals == sorted(totals, reverse=True)
+    assert all(
+        p.key_read_gb == pytest.approx(points[0].key_read_gb) for p in points
+    )
+    assert 0.35 <= points[-1].reduction_vs_baseline <= 0.60

@@ -1,0 +1,56 @@
+"""Figure 3 — cumulative impact of the algorithmic optimizations on one
+bootstrapping operation at the best-case (Table 5) parameters, on top of
+all caching optimizations.
+
+Paper effects: ModDown merge -6% compute; ModDown hoisting -34% compute
+and -19% ciphertext DRAM with +25% key reads; key compression -50% key
+reads; overall bootstrapping arithmetic intensity improves ~3x vs the
+unoptimized baseline."""
+
+import pytest
+
+from repro.params import BASELINE_JUNG
+from repro.perf import BootstrapModel, MADConfig
+from repro.report import generate_fig3
+
+
+@pytest.mark.repro("Figure 3")
+def test_fig3_algorithmic_optimizations(benchmark):
+    points = benchmark(generate_fig3, BASELINE_JUNG)
+    baseline_ai = BootstrapModel(
+        BASELINE_JUNG, MADConfig.none()
+    ).total_cost().arithmetic_intensity
+
+    print(f"\n{'Step':20} {'GOps':>8} {'ct DRAM':>9} {'key GB':>7} {'AI':>6}")
+    for point in points:
+        print(
+            f"{point.label:20} {point.giga_ops:8.1f} {point.ct_dram_gb:9.1f} "
+            f"{point.key_read_gb:7.1f} {point.arithmetic_intensity:6.2f}"
+        )
+        benchmark.extra_info[point.label] = round(point.giga_ops, 1)
+
+    merge_cut = 1 - points[1].giga_ops / points[0].giga_ops
+    hoist_cut = 1 - points[2].giga_ops / points[1].giga_ops
+    key_rise = points[2].key_read_gb / points[1].key_read_gb - 1
+    key_cut = 1 - points[3].key_read_gb / points[2].key_read_gb
+    print(
+        f"\nModDown merge compute cut : {merge_cut:5.1%} (paper  6%)\n"
+        f"ModDown hoist compute cut : {hoist_cut:5.1%} (paper 34%)\n"
+        f"Hoisting key-read increase: {key_rise:5.1%} (paper 25%)\n"
+        f"Key compression key cut   : {key_cut:5.1%} (paper 50%)"
+    )
+
+    assert 0.02 <= merge_cut <= 0.12
+    assert 0.25 <= hoist_cut <= 0.50
+    assert 0.10 <= key_rise <= 0.40
+    assert key_cut == pytest.approx(0.5)
+
+    from repro.params import MAD_OPTIMAL
+
+    final_ai = BootstrapModel(
+        MAD_OPTIMAL, MADConfig.all()
+    ).total_cost().arithmetic_intensity
+    ratio = final_ai / baseline_ai
+    print(f"Bootstrap AI improvement  : {ratio:5.2f}x (paper ~3x)")
+    benchmark.extra_info["ai_improvement"] = round(ratio, 2)
+    assert ratio >= 2.0

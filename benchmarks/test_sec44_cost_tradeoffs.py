@@ -1,0 +1,58 @@
+"""Section 4.4 — performance vs. area/cost trade-offs.
+
+The paper's closing argument: applying MAD with a 32 MB on-chip memory
+shrinks chip area (SRAM dominates the 256-512 MB ASICs) and therefore
+cost; even where raw bootstrapping throughput drops, throughput *per
+dollar* improves."""
+
+import pytest
+
+from repro.params import MAD_OPTIMAL
+from repro.perf import BootstrapModel, MADConfig
+from repro.hardware import ARK, BTS, CRATERLAKE, mad_counterpart
+from repro.hardware.area import NODES, chip_area, performance_per_cost
+from repro.hardware.runtime import estimate_runtime
+
+
+def _series():
+    node = NODES["7nm"]
+    cost = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+    rows = []
+    for design in (BTS, ARK, CRATERLAKE):
+        original_area = chip_area(design, node)
+        original_ppc = performance_per_cost(
+            design.reported_bootstrap_ms / 1e3, design, node
+        )
+        mad = mad_counterpart(design)
+        mad_runtime = estimate_runtime(cost, mad)
+        mad_area = chip_area(mad, node)
+        mad_ppc = performance_per_cost(mad_runtime.seconds, mad, node)
+        rows.append(
+            {
+                "design": design.name,
+                "orig_mm2": original_area.total_mm2,
+                "mad_mm2": mad_area.total_mm2,
+                "orig_mem_frac": original_area.memory_fraction,
+                "ppc_gain": mad_ppc / original_ppc,
+            }
+        )
+    return rows
+
+
+@pytest.mark.repro("Section 4.4")
+def test_sec44_cost_tradeoffs(benchmark):
+    rows = benchmark(_series)
+    print(f"\n{'Design':12} {'orig mm2':>9} {'MAD mm2':>8} "
+          f"{'mem frac':>9} {'perf/cost gain':>15}")
+    for row in rows:
+        print(
+            f"{row['design']:12} {row['orig_mm2']:9.0f} {row['mad_mm2']:8.0f} "
+            f"{row['orig_mem_frac']:9.0%} {row['ppc_gain']:15.2f}x"
+        )
+        benchmark.extra_info[row["design"]] = round(row["ppc_gain"], 2)
+
+    for row in rows:
+        # SRAM dominates the original ASICs...
+        assert row["orig_mem_frac"] > 0.6
+        # ...so the 32 MB MAD design is several times smaller.
+        assert row["mad_mm2"] < row["orig_mm2"] / 2

@@ -1,0 +1,49 @@
+"""Table 4 — total ops, DRAM transfers and arithmetic intensity of every
+CKKS primitive plus bootstrapping (N=2^17, l=35, dnum=3, small cache).
+
+Paper reference values: all primitives have AI < 1 op/byte except ModUp
+(1.88) and ModDown (1.59); bootstrapping totals 149.5 Gops / 208 GB
+(AI 0.72)."""
+
+import pytest
+
+from repro.report import generate_table4, render_table4
+
+PAPER = {
+    "PtAdd": (0.0046, 0.1101),
+    "Add": (0.0092, 0.2202),
+    "PtMult": (0.2747, 0.3282),
+    "Decomp": (0.0092, 0.0734),
+    "ModUp": (0.2847, 0.1510),
+    "KSKInnerProd": (0.0629, 0.4530),
+    "ModDown": (0.3000, 0.1877),
+    "Mult": (1.8333, 1.9293),
+    "Automorph": (0.0, 0.1468),
+    "Rotate": (1.5310, 1.5645),
+    "Conjugate": (1.5310, 1.5645),
+    "Bootstrap": (149.546, 207.982),
+}
+
+
+@pytest.mark.repro("Table 4")
+def test_table4_arithmetic_intensity(benchmark):
+    rows = benchmark(generate_table4)
+    print("\n" + render_table4(rows))
+    print(f"\n{'Operation':14} {'ours GOps':>10} {'paper':>8} "
+          f"{'ours GB':>9} {'paper':>8}")
+    for row in rows:
+        paper_ops, paper_gb = PAPER[row.operation]
+        print(
+            f"{row.operation:14} {row.giga_ops:10.4f} {paper_ops:8.4f} "
+            f"{row.dram_gb:9.4f} {paper_gb:8.4f}"
+        )
+        benchmark.extra_info[f"{row.operation}_gops"] = round(row.giga_ops, 4)
+        benchmark.extra_info[f"{row.operation}_gb"] = round(row.dram_gb, 4)
+    by_name = {r.operation: r for r in rows}
+    # Headline checks: the table's shape.
+    assert by_name["Bootstrap"].arithmetic_intensity < 1.0
+    for name, (paper_ops, paper_gb) in PAPER.items():
+        row = by_name[name]
+        if paper_ops:
+            assert row.giga_ops == pytest.approx(paper_ops, rel=0.25)
+        assert row.dram_gb == pytest.approx(paper_gb, rel=0.25)

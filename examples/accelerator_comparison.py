@@ -1,0 +1,68 @@
+"""Accelerator design-space exploration — Table 6 and Figure 6 in one view.
+
+For each published FHE accelerator (GPU / F1 / BTS / ARK / CraterLake),
+compare the original design against a MAD design point with the same
+compute and bandwidth but only 32 MB of on-chip memory, on three
+workloads: a single bootstrap, HELR logistic-regression training, and
+ResNet-20 inference.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.hardware import PRIOR_DESIGNS, mad_counterpart
+from repro.hardware.runtime import estimate_runtime
+from repro.params import MAD_OPTIMAL
+from repro.perf import BootstrapModel, MADConfig
+from repro.report import (
+    generate_fig6_lr,
+    generate_fig6_resnet,
+    generate_table6,
+    render_table6,
+)
+from repro.search import bootstrap_throughput
+
+
+def bootstrap_table():
+    print("Bootstrapping comparison (Table 6)")
+    print(render_table6(generate_table6()))
+
+
+def memory_sensitivity():
+    print("\nDoes more on-chip memory help a MAD design? (paper: no, beyond 32 MB)")
+    design = mad_counterpart(PRIOR_DESIGNS["BTS"])
+    for mb in (8, 16, 32, 64, 256, 512):
+        from repro.perf import CacheModel
+
+        cost = BootstrapModel(
+            MAD_OPTIMAL, MADConfig.all(), CacheModel.from_mb(mb)
+        ).total_cost()
+        runtime = estimate_runtime(cost, design.with_memory(mb))
+        tp = bootstrap_throughput(
+            MAD_OPTIMAL.slots, MAD_OPTIMAL.log_q1, 19, runtime.seconds
+        )
+        print(
+            f"  {mb:4d} MB: {runtime.milliseconds:7.2f} ms "
+            f"({runtime.bound}-bound), throughput {tp:7.1f}"
+        )
+
+
+def ml_workloads():
+    for title, generator, sizes in (
+        ("HELR logistic-regression training", generate_fig6_lr, (6, 32, 256)),
+        ("ResNet-20 encrypted inference", generate_fig6_resnet, (32, 256)),
+    ):
+        print(f"\n{title} (Figure 6)")
+        for name, design in PRIOR_DESIGNS.items():
+            bars = generator(design, sizes)
+            rendered = ", ".join(
+                f"{bar.label.split('+')[-1] if '+' in bar.label else 'orig'}:"
+                f" {bar.seconds:.2f}s ({bar.speedup_vs_original:.1f}x)"
+                for bar in bars
+            )
+            print(f"  {name:18} {rendered}")
+
+
+if __name__ == "__main__":
+    bootstrap_table()
+    memory_sensitivity()
+    ml_workloads()

@@ -1,0 +1,55 @@
+"""Memory-aware CKKS parameter selection for a custom accelerator budget.
+
+You are designing an FHE accelerator with a fixed silicon budget: how
+should you pick the CKKS parameters, and is another MB of SRAM worth more
+than another thousand multipliers?  This example runs the paper's
+brute-force throughput search (Section 4.1 / Table 5) for a mid-range
+design and shows how the optimum shifts with on-chip memory.
+
+Run:  python examples/parameter_search.py
+"""
+
+from repro.params import BASELINE_JUNG
+from repro.hardware import HardwareDesign
+from repro.search import enumerate_parameter_space, find_optimal_parameters
+
+# A focused grid keeps this example under ~20 seconds; drop the
+# *_choices arguments to sweep the full space as the paper does.
+CANDIDATES = list(
+    enumerate_parameter_space(
+        log_q_choices=(46, 50, 54, 58),
+        max_limbs_choices=(30, 35, 40, 42),
+        dnum_choices=(1, 2, 3, 4),
+        fft_iter_choices=(2, 3, 4, 6),
+    )
+)
+
+
+def search_for(mb: float):
+    design = HardwareDesign(
+        name=f"custom-{mb:g}MB",
+        modular_multipliers=4096,
+        on_chip_mb=mb,
+        bandwidth_gb_s=1000,
+        params=BASELINE_JUNG,  # placeholder; the search re-parameterises
+    )
+    # enforce_cache gates each caching optimization on the actual on-chip
+    # capacity, so the memory budget genuinely shapes the optimum.
+    return find_optimal_parameters(
+        design, candidates=CANDIDATES, top=3, enforce_cache=True
+    )
+
+
+if __name__ == "__main__":
+    print(f"Searching {len(CANDIDATES)} admissible parameter sets "
+          f"(128-bit secure, bootstrappable)...\n")
+    for mb in (8, 32, 64):
+        print(f"On-chip memory budget: {mb} MB")
+        for rank, result in enumerate(search_for(mb), start=1):
+            print(f"  #{rank} {result.describe()}")
+        print()
+    print(
+        "Note the memory-aware signature of the winners: small dnum (fewer,\n"
+        "larger key-switching digits), a long modulus chain, and more DFT\n"
+        "iterations (smaller stage matrices) - exactly the Table 5 optimum."
+    )

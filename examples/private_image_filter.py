@@ -1,0 +1,112 @@
+"""Private image filtering: convolution over an encrypted image.
+
+A client encrypts an 8x8 grayscale image; the server applies a blur kernel
+and an edge-detector — both as homomorphic linear transforms over the
+packed slots — without ever seeing the pixels.  This is the PtMatVecMult
+pattern at the heart of the paper's bootstrapping DFT (and of encrypted
+CNN layers like ResNet-20's convolutions), exercised on real data.
+
+Run:  python examples/private_image_filter.py
+"""
+
+import numpy as np
+
+from repro.params import toy_params
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    LinearTransform,
+)
+
+SIZE = 8  # 8x8 image -> 64 slots -> ring degree 128
+
+
+def make_image() -> np.ndarray:
+    """A simple synthetic image: bright square on a dark background."""
+    image = np.full((SIZE, SIZE), 0.1)
+    image[2:6, 2:6] = 0.9
+    image[4, 4] = 0.2  # a dark defect inside the square
+    return image
+
+
+def conv_matrix(kernel: np.ndarray) -> np.ndarray:
+    """Dense matrix applying a 3x3 kernel to a row-major flattened image
+    (zero padding at the borders)."""
+    n = SIZE * SIZE
+    matrix = np.zeros((n, n))
+    for row in range(SIZE):
+        for col in range(SIZE):
+            out = row * SIZE + col
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    r, c = row + dr, col + dc
+                    if 0 <= r < SIZE and 0 <= c < SIZE:
+                        matrix[out, r * SIZE + c] = kernel[dr + 1, dc + 1]
+    return matrix
+
+
+BLUR = np.full((3, 3), 1.0 / 9.0)
+EDGE = np.array([[0, -1, 0], [-1, 4, -1], [0, -1, 0]], dtype=float)
+
+
+def render(image: np.ndarray, title: str) -> None:
+    ramp = " .:-=+*#%@"
+    lo, hi = image.min(), image.max()
+    span = (hi - lo) or 1.0
+    print(title)
+    for row in image:
+        print(
+            "  "
+            + "".join(
+                ramp[min(int((v - lo) / span * (len(ramp) - 1)), len(ramp) - 1)]
+                for v in row
+            )
+        )
+
+
+def main():
+    image = make_image()
+    render(image, "original (plaintext, client side):")
+
+    params = toy_params(log_n=7, log_q=40, max_limbs=6, dnum=3)
+    ctx = CkksContext(params, seed=8)
+    kg = KeyGenerator(ctx)
+    enc = Encryptor(ctx, secret_key=kg.secret_key)
+    dec = Decryptor(ctx, kg.secret_key)
+
+    blur = LinearTransform(conv_matrix(BLUR))
+    edge = LinearTransform(conv_matrix(EDGE))
+    needed = set(blur.required_rotations("bsgs")) | set(
+        edge.required_rotations("bsgs")
+    )
+    ev = Evaluator(
+        ctx,
+        relin_key=kg.relinearization_key(),
+        rotation_keys={s: kg.rotation_key(s) for s in needed},
+    )
+
+    ct = enc.encrypt_values(image.flatten())
+    print(f"\nserver applies 3x3 kernels homomorphically "
+          f"({len(blur.diagonals)} and {len(edge.diagonals)} non-zero "
+          f"diagonals, BSGS rotations: {len(needed)} keys)...\n")
+
+    blurred = dec.decrypt_values(blur.apply(ev, ct, method="bsgs")).real
+    edges = dec.decrypt_values(edge.apply(ev, ct, method="bsgs")).real
+
+    render(blurred.reshape(SIZE, SIZE), "blurred (computed encrypted):")
+    render(edges.reshape(SIZE, SIZE), "edges (computed encrypted):")
+
+    want_blur = conv_matrix(BLUR) @ image.flatten()
+    want_edge = conv_matrix(EDGE) @ image.flatten()
+    print(
+        f"\nmax error vs plaintext filtering: "
+        f"blur {np.max(np.abs(blurred - want_blur)):.2e}, "
+        f"edge {np.max(np.abs(edges - want_edge)):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

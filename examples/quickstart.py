@@ -1,0 +1,89 @@
+"""Quickstart: both halves of the library in two minutes.
+
+1. The *functional* RNS-CKKS scheme: encrypt a vector, compute on it
+   homomorphically (including a real bootstrap), decrypt.
+2. The *performance model* (SimFHE): how expensive would this be at full
+   scale (N = 2^17), and what do the MAD optimizations buy?
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL, toy_params
+from repro.perf import BootstrapModel, MADConfig
+from repro.ckks import (
+    Bootstrapper,
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+
+def functional_demo():
+    print("=" * 64)
+    print("Part 1 - functional CKKS (exact arithmetic, toy ring degree)")
+    print("=" * 64)
+    params = toy_params(log_n=4, log_q=29, max_limbs=14, dnum=3)
+    context = CkksContext(params, scale_bits=29, seed=42)
+    keygen = KeyGenerator(context, hamming_weight=4)
+    encryptor = Encryptor(context, secret_key=keygen.secret_key)
+    decryptor = Decryptor(context, keygen.secret_key)
+    evaluator = Evaluator(
+        context,
+        relin_key=keygen.relinearization_key(),
+        rotation_keys={1: keygen.rotation_key(1)},
+        conjugation_key=keygen.conjugation_key(),
+    )
+
+    x = np.array([0.30, -0.25, 0.10, 0.05, -0.15, 0.20, 0.00, -0.30])
+    y = np.array([0.50, 0.25, -0.40, 0.10, 0.35, -0.20, 0.15, 0.05])
+
+    ct_x = encryptor.encrypt_values(x)
+    ct_y = encryptor.encrypt_values(y)
+
+    ct_sum = evaluator.add(ct_x, ct_y)
+    ct_prod = evaluator.mult(ct_x, ct_y, merged_mod_down=True)
+    ct_rot = evaluator.rotate(ct_x, 1)
+
+    print(f"x + y        error: {np.abs(decryptor.decrypt_values(ct_sum) - (x + y)).max():.2e}")
+    print(f"x * y        error: {np.abs(decryptor.decrypt_values(ct_prod) - (x * y)).max():.2e}")
+    print(f"rot(x, 1)    error: {np.abs(decryptor.decrypt_values(ct_rot) - np.roll(x, -1)).max():.2e}")
+
+    # Exhaust the ciphertext, then refresh it with a genuine CKKS bootstrap.
+    exhausted = encryptor.encrypt_values(x, scale=2.0**23, limbs=1)
+    bootstrapper = Bootstrapper(context, keygen, mod_degree=63)
+    refreshed = bootstrapper.bootstrap(exhausted)
+    print(
+        f"bootstrap    error: "
+        f"{np.abs(decryptor.decrypt_values(refreshed) - x).max():.2e} "
+        f"(1 limb -> {refreshed.num_limbs} limbs)"
+    )
+
+
+def performance_demo():
+    print()
+    print("=" * 64)
+    print("Part 2 - SimFHE performance model (full-scale N = 2^17)")
+    print("=" * 64)
+    baseline = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+    optimized = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+    print(
+        f"baseline bootstrap : {baseline.giga_ops():7.1f} Gops, "
+        f"{baseline.gigabytes():6.1f} GB DRAM, AI {baseline.arithmetic_intensity:.2f}"
+    )
+    print(
+        f"all MAD techniques : {optimized.giga_ops():7.1f} Gops, "
+        f"{optimized.gigabytes():6.1f} GB DRAM, AI {optimized.arithmetic_intensity:.2f}"
+    )
+    print(
+        f"arithmetic intensity improvement: "
+        f"{optimized.arithmetic_intensity / baseline.arithmetic_intensity:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    performance_demo()

@@ -1,0 +1,42 @@
+"""MAD: Memory-Aware Design Techniques for Accelerating FHE — reproduction.
+
+A SimFHE-style performance model for CKKS bootstrapping (compute + DRAM
+traffic under configurable on-chip memory and MAD optimizations), a
+functional exact-arithmetic RNS-CKKS library validating the modelled
+algorithms, hardware roofline comparisons against GPU/F1/BTS/ARK/CraterLake
+design points, ML application workloads (HELR logistic regression,
+ResNet-20), and a memory-aware parameter search.
+
+Quick start::
+
+    from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+    from repro.perf import BootstrapModel, MADConfig
+
+    baseline = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+    optimized = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+    print(baseline.arithmetic_intensity, optimized.arithmetic_intensity)
+"""
+
+__version__ = "1.0.0"
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL, CkksParams, toy_params
+from repro.perf import (
+    BootstrapModel,
+    CacheModel,
+    CostReport,
+    MADConfig,
+    PrimitiveCosts,
+)
+
+__all__ = [
+    "__version__",
+    "CkksParams",
+    "BASELINE_JUNG",
+    "MAD_OPTIMAL",
+    "toy_params",
+    "MADConfig",
+    "CacheModel",
+    "CostReport",
+    "PrimitiveCosts",
+    "BootstrapModel",
+]

@@ -1,0 +1,13 @@
+"""Application workload models: HELR logistic regression and ResNet-20."""
+
+from repro.apps.workload import ApplicationWorkload, WorkloadCost, workload_cost
+from repro.apps.helr import helr_training
+from repro.apps.resnet import resnet20_inference
+
+__all__ = [
+    "ApplicationWorkload",
+    "WorkloadCost",
+    "workload_cost",
+    "helr_training",
+    "resnet20_inference",
+]

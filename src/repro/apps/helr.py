@@ -1,0 +1,99 @@
+"""HELR: encrypted logistic-regression training (Han et al., AAAI 2019).
+
+The paper's LR evaluation (Fig. 6 a-e) trains on encrypted data with the
+HELR algorithm and — at the MAD-optimal parameters — bootstraps once every
+three training iterations.
+
+Per-iteration structure (MNIST-like: 1024-sample minibatch, 196 features
+packed across ciphertext slots):
+
+* an encrypted matrix-vector product for the scores ``X * w`` — rotation
+  based inner-product accumulation over the feature dimension;
+* a degree-7 polynomial sigmoid approximation (3 ct-ct multiplications via
+  Paterson-Stockmeyer);
+* the gradient product ``X^T * sigma`` — a second rotation tree over the
+  batch dimension;
+* the weight update (plaintext-scaled additions).
+
+Each iteration consumes ~4 multiplicative levels, so a 19-limb budget
+(the post-bootstrap level of the MAD-optimal parameters) sustains 3
+iterations per bootstrap, matching the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.params import CkksParams
+from repro.apps.workload import ApplicationWorkload
+
+#: Multiplicative depth of one HELR iteration: scores product (1),
+#: degree-7 sigmoid (3), gradient product (1) — packing masks ride along.
+MULT_DEPTH_PER_ITERATION = 5
+
+#: Scaling-factor bits HELR needs per multiplication for training-grade
+#: precision.  Designs with narrow limbs (e.g. CraterLake's 28-bit words)
+#: burn proportionally more limbs per multiplication.
+REFERENCE_SCALE_BITS = 50
+
+
+def levels_per_iteration(params: CkksParams) -> int:
+    """Modulus limbs one HELR iteration consumes on ``params``.
+
+    Limb consumption is *bit*-based: five multiplications at a ~50-bit
+    scale cost five 50-bit limbs, or nine 28-bit limbs.
+    """
+    total_bits = MULT_DEPTH_PER_ITERATION * REFERENCE_SCALE_BITS
+    return max(1, math.ceil(total_bits / params.log_q))
+
+
+def iterations_per_bootstrap(params: CkksParams) -> int:
+    """Training iterations a single bootstrap sustains on ``params``.
+
+    At the MAD-optimal parameters the 19-limb post-bootstrap budget (one
+    limb reserved as the base) sustains exactly 3 iterations, matching the
+    paper's "bootstrapping after every three training iterations".
+    """
+    budget = params.bootstrap_output_limbs - 1  # keep one working limb
+    return max(1, budget // levels_per_iteration(params))
+
+
+def helr_training(
+    params: CkksParams,
+    iterations: int = 30,
+    features: int = 196,
+    batch: int = 1024,
+) -> ApplicationWorkload:
+    """The HELR training workload as CKKS operation counts.
+
+    Args:
+        params: parameter set (fixes slots and the bootstrap cadence).
+        iterations: minibatch gradient-descent iterations (the HELR paper
+            trains MNIST in ~30).
+        features: model dimension.
+        batch: minibatch size.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    log_f = math.ceil(math.log2(features))
+    log_b = math.ceil(math.log2(batch))
+    # Rotation trees for X*w (feature reduction) and X^T*sigma (batch
+    # reduction), plus alignment rotations for the packed layout.
+    rotates_per_iter = log_f + log_b + 4
+    # Scores product, 3 sigmoid multiplications, gradient product.
+    mults_per_iter = 1 + 3 + 1
+    # Plaintext masks for the packing plus the learning-rate scaling.
+    pt_mults_per_iter = 3
+    adds_per_iter = rotates_per_iter + 4  # tree sums + update
+    pt_adds_per_iter = 1
+
+    return ApplicationWorkload(
+        name=f"HELR({iterations} iters, {features} features)",
+        mults=mults_per_iter * iterations,
+        pt_mults=pt_mults_per_iter * iterations,
+        rotates=rotates_per_iter * iterations,
+        adds=adds_per_iter * iterations,
+        pt_adds=pt_adds_per_iter * iterations,
+        bootstraps=math.ceil(iterations / iterations_per_bootstrap(params)),
+        level_fraction=0.6,
+    )

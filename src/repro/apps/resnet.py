@@ -1,0 +1,54 @@
+"""ResNet-20 CIFAR-10 inference over CKKS (Lee et al., IEEE Access 2022).
+
+The paper's second ML workload (Fig. 6 f-h) runs single-image encrypted
+inference through the Lee et al. ResNet-20 construction:
+
+* 3x3 convolutions are evaluated as packed rotation/PtMult accumulations
+  — 9 kernel taps x per-channel-block rotations;
+* every ReLU is a high-degree (composite minimax, degree ~27) polynomial
+  needing ~10 ct-ct multiplications;
+* the deep multiplicative depth forces a bootstrap at every activation
+  layer — Lee et al. place one bootstrap per ReLU channel-pack, dominating
+  end-to-end latency (which is why the paper's ResNet speedups track the
+  bootstrap speedups almost exactly).
+
+ResNet-20: an initial convolution plus 3 stages x 3 blocks x 2 convs,
+19 convolution layers, 19 ReLUs, one average-pool + FC layer.
+"""
+
+from __future__ import annotations
+
+from repro.params import CkksParams
+from repro.apps.workload import ApplicationWorkload
+
+#: Convolution layers in ResNet-20 (1 stem + 18 in residual blocks).
+CONV_LAYERS = 19
+#: ReLU activations (one per conv except the final FC).
+RELU_LAYERS = 19
+#: Rotations per convolution: 9 kernel taps times ~8 channel-block
+#: alignment rotations under the Lee et al. packing.
+ROTATES_PER_CONV = 72
+#: ct-ct multiplications per composite-minimax ReLU evaluation.
+MULTS_PER_RELU = 10
+#: Bootstraps per activation (Lee et al. bootstrap every ReLU; two
+#: ciphertext packs per layer on average across the three stages).
+BOOTSTRAPS_PER_RELU = 2
+
+
+def resnet20_inference(params: CkksParams) -> ApplicationWorkload:
+    """Single encrypted-image ResNet-20 inference as operation counts."""
+    rotates = CONV_LAYERS * ROTATES_PER_CONV + 16  # convs + avgpool/FC tree
+    pt_mults = CONV_LAYERS * ROTATES_PER_CONV  # one weight mask per tap
+    mults = RELU_LAYERS * MULTS_PER_RELU
+    adds = rotates + CONV_LAYERS * 8  # accumulations + residual adds
+    pt_adds = CONV_LAYERS  # biases
+    return ApplicationWorkload(
+        name="ResNet-20 inference (CIFAR-10)",
+        mults=mults,
+        pt_mults=pt_mults,
+        rotates=rotates,
+        adds=adds,
+        pt_adds=pt_adds,
+        bootstraps=RELU_LAYERS * BOOTSTRAPS_PER_RELU,
+        level_fraction=0.5,
+    )

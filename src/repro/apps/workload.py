@@ -1,0 +1,96 @@
+"""Generic CKKS application workloads for the performance model.
+
+An :class:`ApplicationWorkload` counts the homomorphic operations an
+application performs between bootstraps, plus how many bootstraps it
+needs.  Operation costs are evaluated at a representative level (CKKS
+programs spend most time in the middle of the modulus chain), and the
+bootstrap cost comes from :class:`repro.perf.BootstrapModel` — which is
+what makes the MAD optimizations show up in application runtimes:
+bootstrapping dominates (the paper cites ~80% of ML application time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.params import CkksParams
+from repro.perf import BootstrapModel, CacheModel, MADConfig, PrimitiveCosts
+from repro.perf.events import CostReport
+
+
+@dataclass(frozen=True)
+class ApplicationWorkload:
+    """Operation counts of one application run."""
+
+    name: str
+    mults: int = 0
+    pt_mults: int = 0
+    rotates: int = 0
+    conjugates: int = 0
+    adds: int = 0
+    pt_adds: int = 0
+    bootstraps: int = 0
+    #: Fraction of the full chain at which non-bootstrap ops execute.
+    level_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.level_fraction <= 1:
+            raise ValueError(
+                f"level_fraction must be in (0, 1], got {self.level_fraction}"
+            )
+        for field_name in (
+            "mults",
+            "pt_mults",
+            "rotates",
+            "conjugates",
+            "adds",
+            "pt_adds",
+            "bootstraps",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadCost:
+    """Cost split of an application run."""
+
+    compute: CostReport  # non-bootstrap homomorphic ops
+    bootstrap: CostReport  # all bootstrap invocations
+
+    @property
+    def total(self) -> CostReport:
+        return self.compute + self.bootstrap
+
+    @property
+    def bootstrap_fraction(self) -> float:
+        """Fraction of total DRAM traffic attributable to bootstrapping."""
+        total = self.total.traffic.total
+        if total == 0:
+            return 0.0
+        return self.bootstrap.traffic.total / total
+
+
+def workload_cost(
+    workload: ApplicationWorkload,
+    params: CkksParams,
+    config: MADConfig = MADConfig.none(),
+    cache: Optional[CacheModel] = None,
+) -> WorkloadCost:
+    """Evaluate a workload under a parameter set and optimization config."""
+    costs = PrimitiveCosts(params, config, cache)
+    level = max(2, round(params.max_limbs * workload.level_fraction))
+    compute = CostReport()
+    compute = compute + costs.mult(level).scaled(workload.mults)
+    compute = compute + costs.pt_mult(level).scaled(workload.pt_mults)
+    compute = compute + costs.rotate(level).scaled(workload.rotates)
+    compute = compute + costs.conjugate(level).scaled(workload.conjugates)
+    compute = compute + costs.add(level).scaled(workload.adds)
+    compute = compute + costs.pt_add(level).scaled(workload.pt_adds)
+
+    bootstrap = CostReport()
+    if workload.bootstraps:
+        model = BootstrapModel(params, config, cache)
+        bootstrap = model.total_cost().scaled(workload.bootstraps)
+    return WorkloadCost(compute=compute, bootstrap=bootstrap)

@@ -1,0 +1,48 @@
+"""Functional RNS-CKKS scheme (exact arithmetic, laptop-scale parameters).
+
+This package implements the scheme whose *costs* the performance model in
+:mod:`repro.perf` accounts for: encoding via the canonical embedding,
+encryption, the full evaluator (Add/PtAdd/Mult/PtMult/Rescale/Rotate/
+Conjugate/KeySwitch with Han-Ki hybrid digit decomposition), hoisted
+rotations, BSGS homomorphic linear transforms (PtMatVecMult), and the
+CKKS bootstrapping pipeline (ModRaise -> CoeffToSlot -> EvalMod ->
+SlotToCoeff).
+
+It runs at reduced ring degree (N = 2^4 .. 2^12) so the exact integer
+arithmetic stays fast, while exercising precisely the algorithms — including
+the MAD algorithmic optimizations (merged ModDown in Mult, hoisted ModDown
+across rotations, PRNG key compression) — that the simulator models at
+N = 2^17.
+"""
+
+from repro.ckks.context import CkksContext
+from repro.ckks.encoding import Encoder
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.keys import KeyGenerator, PublicKey, SecretKey, SwitchingKey
+from repro.ckks.encrypt import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.linear import LinearTransform
+from repro.ckks.bootstrap import Bootstrapper, approximate_mod_poly
+from repro.ckks.noise import NoiseEstimate, NoiseEstimator, measured_noise_bits
+from repro.ckks.specialfft import SpecialFft
+
+__all__ = [
+    "NoiseEstimate",
+    "NoiseEstimator",
+    "measured_noise_bits",
+    "SpecialFft",
+    "CkksContext",
+    "Encoder",
+    "Plaintext",
+    "Ciphertext",
+    "SecretKey",
+    "PublicKey",
+    "SwitchingKey",
+    "KeyGenerator",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+    "LinearTransform",
+    "Bootstrapper",
+    "approximate_mod_poly",
+]

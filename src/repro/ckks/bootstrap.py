@@ -1,0 +1,307 @@
+"""CKKS bootstrapping: ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff.
+
+Follows the structure of Algorithm 4 of the paper (Cheon et al. 2018 /
+Han-Ki 2020 lineage):
+
+1. **ModRaise** — reinterpret an exhausted single-limb ciphertext over the
+   full modulus chain.  The plaintext becomes ``Delta*m + q_1*I(x)`` for a
+   small integer polynomial ``I``.
+2. **CoeffToSlot** — homomorphic DFT moving the coefficients of that
+   plaintext into slots (two R-linear transforms extracting the real and
+   imaginary packings).
+3. **EvalMod** — approximate reduction mod ``q_1`` by evaluating
+   ``sin(2*pi*u) / (2*pi)`` on ``u = plaintext/q_1`` as a Chebyshev series.
+4. **SlotToCoeff** — the inverse DFT, moving slots back to coefficients.
+
+The homomorphic DFT runs either as a single dense PtMatVecMult per
+direction (default) or — with ``fft_iter`` set — as the genuine
+``fftIter``-stage radix-2 factorisation of :mod:`repro.ckks.specialfft`,
+matching the structure the performance model costs out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.ring import RnsPolynomial
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.linear import LinearTransform
+from repro.ckks.polyeval import ChebyshevEvaluator, chebyshev_fit
+
+
+def approximate_mod_poly(
+    k_bound: int, degree: int
+) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Chebyshev series approximating ``u mod 1`` (centered) on ``[-K, K]``.
+
+    Returns the coefficients of ``sin(2*pi*u) / (2*pi)`` — which agrees with
+    the centered reduction of ``u`` modulo 1 up to ``O(eps^3)`` for inputs
+    ``u = I + eps`` with integer ``|I| <= K`` — together with the fit
+    interval.
+    """
+    if k_bound < 1:
+        raise ValueError(f"k_bound must be >= 1, got {k_bound}")
+    interval = (-(k_bound + 0.5), k_bound + 0.5)
+    coeffs = chebyshev_fit(
+        lambda u: np.sin(2.0 * np.pi * u) / (2.0 * np.pi), degree, interval
+    )
+    return coeffs, interval
+
+
+def reduced_cos_poly(
+    k_bound: int, degree: int, double_angle_iters: int
+) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Chebyshev series for the *angle-reduced* cosine used by double-angle
+    EvalMod (Han-Ki / Bossuat et al. style).
+
+    Evaluating ``g_0 = cos((2*pi*u - pi/2) / 2^r)`` and applying the
+    double-angle rule ``g_{k+1} = 2 g_k^2 - 1`` ``r`` times yields
+    ``cos(2*pi*u - pi/2) = sin(2*pi*u)``.  The reduced argument spans
+    ``2^r``-fold fewer oscillations, so a much lower Chebyshev degree
+    suffices — trading interpolation degree for ``r`` extra multiplicative
+    levels.
+    """
+    if k_bound < 1:
+        raise ValueError(f"k_bound must be >= 1, got {k_bound}")
+    if double_angle_iters < 1:
+        raise ValueError(
+            f"double_angle_iters must be >= 1, got {double_angle_iters}"
+        )
+    interval = (-(k_bound + 0.5), k_bound + 0.5)
+    scale = 2.0**double_angle_iters
+    coeffs = chebyshev_fit(
+        lambda u: np.cos((2.0 * np.pi * u - np.pi / 2.0) / scale),
+        degree,
+        interval,
+    )
+    return coeffs, interval
+
+
+def _r_linear_matrices(
+    linear_map: Callable[[np.ndarray], np.ndarray], n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Express an R-linear map on C^n as ``L(z) = M1 z + M2 conj(z)``."""
+    m1 = np.zeros((n, n), dtype=np.complex128)
+    m2 = np.zeros((n, n), dtype=np.complex128)
+    for k in range(n):
+        e = np.zeros(n, dtype=np.complex128)
+        e[k] = 1.0
+        real_image = linear_map(e)
+        imag_image = linear_map(1j * e)
+        m1[:, k] = (real_image - 1j * imag_image) / 2.0
+        m2[:, k] = (real_image + 1j * imag_image) / 2.0
+    return m1, m2
+
+
+class Bootstrapper:
+    """Refreshes exhausted ciphertexts back to a high level.
+
+    Args:
+        context: scheme context; its chain must be deep enough for the
+            pipeline (2 transform levels + ~log2(mod_degree)+2 EvalMod
+            levels).
+        keygen: the key generator holding the secret key.  A *sparse*
+            secret (``hamming_weight`` small) keeps ``k_bound`` — the range
+            of the integer overflow ``I(x)`` — small.
+        k_bound: bound on ``|I(x)|``; defaults to ``hamming_weight/2 + 2``
+            estimated from the secret's actual weight.
+        mod_degree: Chebyshev degree for the EvalMod sine approximation.
+    """
+
+    def __init__(
+        self,
+        context: CkksContext,
+        keygen: KeyGenerator,
+        k_bound: Optional[int] = None,
+        mod_degree: int = 63,
+        double_angle_iters: int = 0,
+        fft_iter: Optional[int] = None,
+    ):
+        self.context = context
+        n = context.slots
+        self.fft_iter = fft_iter
+        if k_bound is None:
+            weight = sum(1 for c in keygen.secret_key.coeffs if c)
+            k_bound = weight // 2 + 2
+        self.k_bound = k_bound
+        self.mod_degree = mod_degree
+        self.double_angle_iters = double_angle_iters
+        if double_angle_iters:
+            self.mod_coeffs, self.mod_interval = reduced_cos_poly(
+                k_bound, mod_degree, double_angle_iters
+            )
+        else:
+            self.mod_coeffs, self.mod_interval = approximate_mod_poly(
+                k_bound, mod_degree
+            )
+
+        encoder = context.encoder
+        # CoeffToSlot: slots z of the raised plaintext -> packed coefficient
+        # views.  embed(z) recovers the (scaled) coefficient vector exactly.
+        def coeff_real(z):
+            return encoder.embed(z)[:n].astype(np.complex128)
+
+        def coeff_imag(z):
+            return encoder.embed(z)[n:].astype(np.complex128)
+
+        # SlotToCoeff: packed coefficients w -> slot values of that
+        # coefficient vector.
+        def slots_of_packed(w):
+            coeffs = np.concatenate([w.real, w.imag])
+            return encoder.project(coeffs)
+
+        self.c2s_real = LinearTransform(*_r_linear_matrices(coeff_real, n))
+        self.c2s_imag = LinearTransform(*_r_linear_matrices(coeff_imag, n))
+        self.s2c = LinearTransform(*_r_linear_matrices(slots_of_packed, n))
+
+        # Factored (multi-iteration) homomorphic DFT: the radix-2 special
+        # FFT grouped into fft_iter stages of sparse-diagonal transforms,
+        # exactly the structure whose cost the performance model attributes
+        # to the paper's fftIter parameter.  The stages produce/consume the
+        # coefficient packing in bit-reversed slot order, which EvalMod
+        # (slot-wise) is oblivious to.
+        self.c2s_stages: Optional[list] = None
+        self.s2c_stages: Optional[list] = None
+        if fft_iter is not None:
+            from repro.ckks.specialfft import SpecialFft
+
+            fft = SpecialFft(encoder)
+            self.c2s_stages = [
+                LinearTransform(stage)
+                for stage in fft.grouped_stages(fft_iter, inverse=True)
+            ]
+            self.s2c_stages = [
+                LinearTransform(stage)
+                for stage in fft.grouped_stages(fft_iter)
+            ]
+
+        self.evaluator = Evaluator(
+            context,
+            relin_key=keygen.relinearization_key(),
+            rotation_keys={
+                step: keygen.rotation_key(step)
+                for step in self.required_rotations()
+            },
+            conjugation_key=keygen.conjugation_key(),
+        )
+
+    # ------------------------------------------------------------------
+    def required_rotations(self):
+        steps = set()
+        transforms = [self.c2s_real, self.c2s_imag, self.s2c]
+        if self.c2s_stages is not None:
+            transforms.extend(self.c2s_stages)
+            transforms.extend(self.s2c_stages)
+        for transform in transforms:
+            steps.update(transform.required_rotations())
+        return sorted(steps)
+
+    # ------------------------------------------------------------------
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Reinterpret a single-limb ciphertext over the full chain.
+
+        The output decrypts to ``m' = Delta*m + q_1*I(x)``; we declare its
+        scale to be ``q_1`` so downstream transforms see the slot values
+        ``u = m'/q_1``.
+        """
+        if ct.num_limbs != 1:
+            ct = self.evaluator.reduce_level(ct, 1)
+        q1 = ct.basis.moduli[0]
+        full = self.context.basis_at(self.context.max_limbs)
+        half = q1 // 2
+
+        def lift(poly: RnsPolynomial) -> RnsPolynomial:
+            centered = [
+                c - q1 if c > half else c for c in poly.to_coeff().limbs[0]
+            ]
+            return RnsPolynomial.from_int_coeffs(centered, full).to_eval()
+
+        return Ciphertext(lift(ct.c0), lift(ct.c1), float(q1))
+
+    # ------------------------------------------------------------------
+    def coeff_to_slot(
+        self, ct: Ciphertext, method: str = "hoisted"
+    ) -> Tuple[Ciphertext, Ciphertext]:
+        """Homomorphic DFT: slots become (real, imag) coefficient packings.
+
+        On the factored path the packing is in bit-reversed order; the
+        slot-wise EvalMod does not care, and :meth:`slot_to_coeff` consumes
+        the same ordering.
+        """
+        if self.c2s_stages is None:
+            return (
+                self.c2s_real.apply(self.evaluator, ct, method=method),
+                self.c2s_imag.apply(self.evaluator, ct, method=method),
+            )
+        ev = self.evaluator
+        n = self.context.slots
+        packed = ct
+        for stage in self.c2s_stages:
+            packed = stage.apply(ev, packed, method=method)
+        conjugated = ev.conjugate(packed)
+        u_real = ev.pt_mult(ev.add(packed, conjugated), [0.5] * n)
+        u_imag = ev.pt_mult(ev.sub(packed, conjugated), [-0.5j] * n)
+        return u_real, u_imag
+
+    def eval_mod(self, ct: Ciphertext, factor: complex = 1.0) -> Ciphertext:
+        """Approximate centered reduction mod 1 of real-valued slots.
+
+        ``factor`` scales the output (used to multiply the imaginary branch
+        by ``1j``) — folded into the series coefficients on the direct path,
+        applied as a final plaintext multiplication on the double-angle path.
+        """
+        cheb = ChebyshevEvaluator(
+            self.evaluator, ct, self.mod_interval, self.mod_degree
+        )
+        if not self.double_angle_iters:
+            return cheb.evaluate([c * factor for c in self.mod_coeffs])
+        # Double-angle path: evaluate the angle-reduced cosine at a low
+        # degree, then square up r times (2cos^2 - 1) to reach
+        # cos(2*pi*u - pi/2) = sin(2*pi*u), and rescale by 1/(2*pi).
+        ev = self.evaluator
+        n = self.context.slots
+        g = cheb.evaluate(self.mod_coeffs)
+        for _ in range(self.double_angle_iters):
+            squared = ev.mult(g, g)
+            g = ev.pt_add(ev.add(squared, squared), [-1.0] * n)
+        return ev.pt_mult(g, [factor / (2.0 * math.pi)] * n)
+
+    def slot_to_coeff(self, ct: Ciphertext, method: str = "hoisted") -> Ciphertext:
+        """Inverse homomorphic DFT: packed coefficients back into slots."""
+        if self.s2c_stages is None:
+            return self.s2c.apply(self.evaluator, ct, method=method)
+        out = ct
+        for stage in self.s2c_stages:
+            out = stage.apply(self.evaluator, out, method=method)
+        return out
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, ct: Ciphertext, method: str = "hoisted") -> Ciphertext:
+        """Full bootstrap of a (nearly) exhausted ciphertext.
+
+        The input may have any number of limbs; only its first limb is
+        used.  The message magnitude must satisfy ``|m| * scale << q_1``
+        for the sine approximation to hold.
+
+        Returns a ciphertext at a high level encrypting the same message
+        (scale bookkeeping is adjusted so decryption needs no external
+        correction).
+        """
+        input_scale = ct.scale
+        raised = self.mod_raise(ct)
+        q1 = float(self.context.q_basis.moduli[0])
+
+        u_real, u_imag = self.coeff_to_slot(raised, method=method)
+        v_real = self.eval_mod(u_real)
+        v_imag = self.eval_mod(u_imag, factor=1j)
+        packed = self.evaluator.add(v_real, v_imag)
+        out = self.slot_to_coeff(packed, method=method)
+        # The pipeline computed values (Delta_in/q_1) * m; fold the factor
+        # into the declared scale.
+        return Ciphertext(out.c0, out.c1, out.scale * input_scale / q1)

@@ -1,0 +1,91 @@
+"""CKKS plaintext encoding via the canonical embedding.
+
+A CKKS plaintext packs ``n = N/2`` complex numbers into the slots of a ring
+element.  Slot ``j`` holds the evaluation of the (integer-coefficient)
+polynomial at the primitive ``2N``-th root of unity ``zeta^{e_j}`` with
+``e_j = 5^j mod 2N``; the other half of the roots carry the complex
+conjugates, which is what makes real coefficient vectors sufficient.
+
+Slot rotations and conjugation are Galois automorphisms:
+
+* rotate left by ``r`` slots  <->  ``f(x) -> f(x^{5^r mod 2N})``
+* conjugate all slots         <->  ``f(x) -> f(x^{2N-1})``
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Encoder:
+    """Encode/decode complex slot vectors to/from integer coefficients.
+
+    Args:
+        degree: ring degree ``N`` (power of two).
+        default_scale: scaling factor ``Delta`` applied when none is given.
+    """
+
+    def __init__(self, degree: int, default_scale: float):
+        if degree < 4 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two >= 4, got {degree}")
+        if default_scale <= 0:
+            raise ValueError(f"scale must be positive, got {default_scale}")
+        self.degree = degree
+        self.slots = degree // 2
+        self.default_scale = default_scale
+        two_n = 2 * degree
+        self.rot_group = [pow(5, j, two_n) for j in range(self.slots)]
+        zeta = np.exp(1j * np.pi / degree)  # primitive 2N-th root of unity
+        exponents = np.outer(self.rot_group, np.arange(degree)) % two_n
+        # V[j, k] = zeta^{e_j * k}; decode is z = V c / Delta.
+        self._vandermonde = zeta ** exponents
+        self._vandermonde_h = self._vandermonde.conj().T
+
+    # ------------------------------------------------------------------
+    def embed(self, values: Sequence[complex]) -> np.ndarray:
+        """Real coefficient vector (unrounded, scale 1) embedding ``values``.
+
+        This is the exact inverse of :meth:`project`; both are used by the
+        bootstrapping matrices as well as by encode/decode.
+        """
+        z = np.asarray(values, dtype=np.complex128)
+        if z.shape != (self.slots,):
+            raise ValueError(f"expected {self.slots} slot values, got {z.shape}")
+        # c = (2/N) Re(V^H z): valid because the full 2N-th-root Vandermonde
+        # (our rows plus their conjugates) is orthogonal with norm N.
+        return (2.0 / self.degree) * (self._vandermonde_h @ z).real
+
+    def project(self, coeffs: Sequence[float]) -> np.ndarray:
+        """Slot values of a real coefficient vector (scale 1)."""
+        c = np.asarray(coeffs, dtype=np.float64)
+        if c.shape != (self.degree,):
+            raise ValueError(f"expected {self.degree} coefficients, got {c.shape}")
+        return self._vandermonde @ c
+
+    # ------------------------------------------------------------------
+    def encode(
+        self, values: Sequence[complex], scale: float = None
+    ) -> List[int]:
+        """Round ``Delta * embed(values)`` to integer coefficients."""
+        scale = self.default_scale if scale is None else scale
+        real_coeffs = self.embed(values) * scale
+        return [int(round(c)) for c in real_coeffs]
+
+    def decode(self, coeffs: Sequence[int], scale: float = None) -> np.ndarray:
+        """Recover the slot values of an integer coefficient vector."""
+        scale = self.default_scale if scale is None else scale
+        return self.project([float(c) for c in coeffs]) / scale
+
+    # ------------------------------------------------------------------
+    # Galois indices
+    # ------------------------------------------------------------------
+    def rotation_automorphism(self, steps: int) -> int:
+        """Galois index ``t`` realising a left rotation by ``steps`` slots."""
+        return pow(5, steps % self.slots, 2 * self.degree)
+
+    @property
+    def conjugation_automorphism(self) -> int:
+        """Galois index realising slot-wise complex conjugation."""
+        return 2 * self.degree - 1

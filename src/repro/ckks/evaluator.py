@@ -1,0 +1,374 @@
+"""The CKKS evaluator: homomorphic operations over ciphertexts.
+
+Implements every primitive of Table 2 of the paper (PtAdd, Add, PtMult,
+Mult, Rotate, Conjugate) plus the sub-operations they decompose into
+(Decomp, ModUp, KSKInnerProd, ModDown, Automorph, Rescale) and the MAD
+algorithmic optimizations:
+
+* ``mult(..., merged_mod_down=True)`` — Fig. 4(c): performs the post-
+  key-switch addition in the raised basis (via PModUp) and folds the
+  rescale into a single ModDown that divides by ``P * q_l`` at once.
+* ``rotations_hoisted`` — classic ModUp hoisting: the digit decomposition
+  and ModUp of ``c1`` are shared across many rotations of one ciphertext.
+* ``key_switch_raised`` — exposes the intermediate ``[[P*x*s]]`` value so
+  linear functions can be evaluated in the raised basis before a single
+  deferred ModDown (the paper's ModDown hoisting; used by
+  :class:`repro.ckks.linear.LinearTransform`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.ring import (
+    Representation,
+    RnsBasis,
+    RnsPolynomial,
+    mod_down,
+    p_mod_up,
+    rescale as ring_rescale,
+)
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import SwitchingKey
+
+#: Default relative tolerance when checking that two scales match.  CKKS
+#: rescaling divides by primes that only approximate the scaling factor, so
+#: deep circuits accumulate per-level scale drift of ~|q - Delta| / Delta;
+#: additions across different depths must tolerate that drift (the induced
+#: relative message error is bounded by the actual mismatch).
+_SCALE_RTOL = 0.05
+
+RaisedPair = Tuple[RnsPolynomial, RnsPolynomial]
+
+
+class Evaluator:
+    """Homomorphic evaluation engine bound to a context and key set.
+
+    Args:
+        context: the scheme context.
+        relin_key: switching key from ``s^2`` to ``s`` (needed by ``mult``).
+        rotation_keys: map from rotation steps to Galois keys.
+        conjugation_key: Galois key for slot conjugation.
+    """
+
+    def __init__(
+        self,
+        context: CkksContext,
+        relin_key: Optional[SwitchingKey] = None,
+        rotation_keys: Optional[Dict[int, SwitchingKey]] = None,
+        conjugation_key: Optional[SwitchingKey] = None,
+        scale_rtol: float = _SCALE_RTOL,
+    ):
+        self.context = context
+        self.relin_key = relin_key
+        self.rotation_keys = dict(rotation_keys or {})
+        self.conjugation_key = conjugation_key
+        self.scale_rtol = scale_rtol
+
+    # ==================================================================
+    # Additive operations
+    # ==================================================================
+    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Homomorphic addition of two ciphertexts."""
+        ct1, ct2 = self.align_levels(ct1, ct2)
+        self._check_scales(ct1.scale, ct2.scale)
+        return Ciphertext(ct1.c0 + ct2.c0, ct1.c1 + ct2.c1, ct1.scale)
+
+    def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction."""
+        ct1, ct2 = self.align_levels(ct1, ct2)
+        self._check_scales(ct1.scale, ct2.scale)
+        return Ciphertext(ct1.c0 - ct2.c0, ct1.c1 - ct2.c1, ct1.scale)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(-ct.c0, -ct.c1, ct.scale)
+
+    def pt_add(
+        self, ct: Ciphertext, values: Union[Plaintext, Sequence[complex]]
+    ) -> Ciphertext:
+        """Add a plaintext vector; only touches ``c0`` (cheapest primitive)."""
+        pt = self._as_plaintext(values, scale=ct.scale)
+        self._check_scales(ct.scale, pt.scale)
+        return Ciphertext(ct.c0 + pt.to_poly(ct.basis), ct.c1, ct.scale)
+
+    # ==================================================================
+    # Multiplicative operations
+    # ==================================================================
+    def pt_mult(
+        self,
+        ct: Ciphertext,
+        values: Union[Plaintext, Sequence[complex]],
+        rescale: bool = True,
+    ) -> Ciphertext:
+        """Multiply by a plaintext vector; includes the Rescale of Table 2."""
+        pt = self._as_plaintext(values, scale=self.context.scale)
+        pt_poly = pt.to_poly(ct.basis)
+        product = Ciphertext(
+            ct.c0 * pt_poly, ct.c1 * pt_poly, ct.scale * pt.scale
+        )
+        return self.rescale(product) if rescale else product
+
+    def mult(
+        self,
+        ct1: Ciphertext,
+        ct2: Ciphertext,
+        rescale: bool = True,
+        merged_mod_down: bool = False,
+    ) -> Ciphertext:
+        """Homomorphic multiplication with relinearisation.
+
+        With ``merged_mod_down`` the key-switch output stays in the raised
+        basis, the tensor terms are lifted with PModUp, and one ModDown
+        divides by ``P * q_l`` — saving ``l`` per-coefficient products and a
+        full orientation switch exactly as in Fig. 4 of the paper (requires
+        ``rescale=True``).
+        """
+        if self.relin_key is None:
+            raise ValueError("mult requires a relinearisation key")
+        if merged_mod_down and not rescale:
+            raise ValueError("merged_mod_down only makes sense with rescale")
+        ct1, ct2 = self.align_levels(ct1, ct2)
+        d0 = ct1.c0 * ct2.c0
+        d1 = ct1.c0 * ct2.c1 + ct1.c1 * ct2.c0
+        d2 = ct1.c1 * ct2.c1
+        scale = ct1.scale * ct2.scale
+
+        if merged_mod_down:
+            return self._mult_merged(d0, d1, d2, scale)
+
+        u, v = self.key_switch(d2, self.relin_key)
+        result = Ciphertext(d0 + u, d1 + v, scale)
+        return self.rescale(result) if rescale else result
+
+    def _mult_merged(
+        self,
+        d0: RnsPolynomial,
+        d1: RnsPolynomial,
+        d2: RnsPolynomial,
+        scale: float,
+    ) -> Ciphertext:
+        ctx = self.context
+        b_raised, a_raised = self.key_switch_raised(d2, self.relin_key)
+        # Lift the tensor terms into the raised basis (Algorithm 5) and add
+        # there — the ciphertext is still additively homomorphic.
+        specials = ctx.special_moduli
+        b_raised = b_raised + p_mod_up(d0, specials)
+        a_raised = a_raised + p_mod_up(d1, specials)
+        # One ModDown drops the special limbs *and* the rescale limb,
+        # dividing by P * q_l in a single pass.
+        drop = len(specials) + 1
+        dropped_limb = d0.basis.moduli[-1]
+        perm_b = self._rescale_limb_last(b_raised, len(specials))
+        perm_a = self._rescale_limb_last(a_raised, len(specials))
+        c0 = mod_down(perm_b, drop)
+        c1 = mod_down(perm_a, drop)
+        return Ciphertext(c0, c1, scale / dropped_limb)
+
+    @staticmethod
+    def _rescale_limb_last(poly: RnsPolynomial, num_specials: int) -> RnsPolynomial:
+        """Reorder limbs so the rescale limb ``q_l`` sits after the specials.
+
+        ``mod_down`` drops a suffix; the merged ModDown must drop
+        ``{q_l, p_1..p_k}``, so ``[q_1..q_l, p_1..p_k]`` becomes
+        ``[q_1..q_{l-1}, p_1..p_k, q_l]``.  Row moves are free bookkeeping
+        in evaluation form.
+        """
+        q_last = poly.num_limbs - num_specials - 1
+        order = (
+            list(range(q_last))
+            + list(range(q_last + 1, poly.num_limbs))
+            + [q_last]
+        )
+        basis = RnsBasis(
+            poly.basis.degree, [poly.basis.moduli[i] for i in order]
+        )
+        return RnsPolynomial(
+            basis, [poly.limbs[i] for i in order], Representation.EVAL
+        )
+
+    # ==================================================================
+    # Rescale and level management
+    # ==================================================================
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by the last limb modulus, dropping one level."""
+        dropped = ct.basis.moduli[-1]
+        return Ciphertext(
+            ring_rescale(ct.c0), ring_rescale(ct.c1), ct.scale / dropped
+        )
+
+    def reduce_level(self, ct: Ciphertext, limbs: int) -> Ciphertext:
+        """Drop limbs without scaling (plain modulus reduction)."""
+        if not 1 <= limbs <= ct.num_limbs:
+            raise ValueError(
+                f"cannot reduce a {ct.num_limbs}-limb ciphertext to {limbs}"
+            )
+        if limbs == ct.num_limbs:
+            return ct
+        basis = self.context.basis_at(limbs)
+        return Ciphertext(
+            RnsPolynomial(basis, ct.c0.limbs[:limbs], Representation.EVAL),
+            RnsPolynomial(basis, ct.c1.limbs[:limbs], Representation.EVAL),
+            ct.scale,
+        )
+
+    def align_levels(
+        self, ct1: Ciphertext, ct2: Ciphertext
+    ) -> Tuple[Ciphertext, Ciphertext]:
+        """Bring both ciphertexts to the smaller of the two limb counts."""
+        limbs = min(ct1.num_limbs, ct2.num_limbs)
+        return self.reduce_level(ct1, limbs), self.reduce_level(ct2, limbs)
+
+    # ==================================================================
+    # Key switching
+    # ==================================================================
+    def decompose(self, poly: RnsPolynomial) -> List[RnsPolynomial]:
+        """Split a ciphertext polynomial into key-switching digits."""
+        ctx = self.context
+        digits = []
+        for index_range in ctx.digit_index_ranges(poly.num_limbs):
+            moduli = [poly.basis.moduli[i] for i in index_range]
+            rows = [poly.limbs[i] for i in index_range]
+            digits.append(
+                RnsPolynomial(
+                    RnsBasis(ctx.degree, moduli), rows, poly.representation
+                )
+            )
+        return digits
+
+    def raise_digit(
+        self, digit: RnsPolynomial, target: RnsBasis
+    ) -> RnsPolynomial:
+        """ModUp a digit to ``target`` (the raised basis), reordering limbs."""
+        from repro.ring import mod_up
+
+        extension = [m for m in target.moduli if m not in set(digit.basis.moduli)]
+        raised = mod_up(digit, extension)
+        row_of = {m: row for m, row in zip(raised.basis.moduli, raised.limbs)}
+        rows = [row_of[m] for m in target.moduli]
+        return RnsPolynomial(target, rows, Representation.EVAL)
+
+    def raise_digits(self, poly: RnsPolynomial) -> List[RnsPolynomial]:
+        """Decomp + ModUp of every digit (the hoistable prefix of KeySwitch)."""
+        target = self.context.raised_basis(poly.num_limbs)
+        return [self.raise_digit(d, target) for d in self.decompose(poly)]
+
+    def ksk_inner_product(
+        self,
+        raised_digits: Sequence[RnsPolynomial],
+        key: SwitchingKey,
+        live_limbs: int,
+    ) -> RaisedPair:
+        """Accumulate ``sum_i d_i * ksk_i`` over the raised basis."""
+        key_digits = key.restricted(live_limbs, self.context)
+        if len(raised_digits) > len(key_digits):
+            raise ValueError(
+                f"{len(raised_digits)} digits but key has {len(key_digits)}"
+            )
+        target = self.context.raised_basis(live_limbs)
+        acc_b = RnsPolynomial.zero(target)
+        acc_a = RnsPolynomial.zero(target)
+        for digit, (b_key, a_key) in zip(raised_digits, key_digits):
+            acc_b = acc_b + digit * b_key
+            acc_a = acc_a + digit * a_key
+        return acc_b, acc_a
+
+    def key_switch_raised(
+        self, poly: RnsPolynomial, key: SwitchingKey
+    ) -> RaisedPair:
+        """KeySwitch up to (but not including) the final ModDown pair.
+
+        Returns the intermediate ``[[P * x * s_from]]`` over ``R_PQ`` —
+        the value the paper's "linear functions in the raised basis"
+        optimizations operate on.
+        """
+        raised_digits = self.raise_digits(poly)
+        return self.ksk_inner_product(raised_digits, key, poly.num_limbs)
+
+    def mod_down_pair(self, pair: RaisedPair) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """The deferred ModDown pair finishing a (possibly hoisted) KeySwitch."""
+        drop = len(self.context.special_moduli)
+        return mod_down(pair[0], drop), mod_down(pair[1], drop)
+
+    def key_switch(
+        self, poly: RnsPolynomial, key: SwitchingKey
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Full KeySwitch (Algorithm 3): Decomp, ModUp, inner product, ModDown."""
+        return self.mod_down_pair(self.key_switch_raised(poly, key))
+
+    # ==================================================================
+    # Galois operations
+    # ==================================================================
+    def automorph(self, ct: Ciphertext, t: int) -> Ciphertext:
+        """Raw automorphism of both components (decrypts under ``s(x^t)``)."""
+        return Ciphertext(ct.c0.automorph(t), ct.c1.automorph(t), ct.scale)
+
+    def _galois(self, ct: Ciphertext, t: int, key: SwitchingKey) -> Ciphertext:
+        moved = self.automorph(ct, t)
+        u, v = self.key_switch(moved.c1, key)
+        return Ciphertext(moved.c0 + u, v, ct.scale)
+
+    def rotate(
+        self, ct: Ciphertext, steps: int, key: Optional[SwitchingKey] = None
+    ) -> Ciphertext:
+        """Rotate plaintext slots left by ``steps``."""
+        steps = steps % self.context.slots
+        if steps == 0:
+            return ct
+        if key is None:
+            key = self.rotation_keys.get(steps)
+        if key is None:
+            raise ValueError(f"no rotation key for {steps} steps")
+        t = self.context.encoder.rotation_automorphism(steps)
+        return self._galois(ct, t, key)
+
+    def conjugate(
+        self, ct: Ciphertext, key: Optional[SwitchingKey] = None
+    ) -> Ciphertext:
+        """Complex-conjugate every plaintext slot."""
+        key = key if key is not None else self.conjugation_key
+        if key is None:
+            raise ValueError("no conjugation key available")
+        t = self.context.encoder.conjugation_automorphism
+        return self._galois(ct, t, key)
+
+    def rotations_hoisted(
+        self, ct: Ciphertext, steps_list: Sequence[int]
+    ) -> Dict[int, Ciphertext]:
+        """Many rotations of one ciphertext sharing a single Decomp+ModUp.
+
+        Classic ModUp hoisting [16, 22]: the expensive digit raise of ``c1``
+        is computed once; each rotation then costs only automorphisms, one
+        inner product, and the ModDown pair.
+        """
+        raised_digits = self.raise_digits(ct.c1)
+        results: Dict[int, Ciphertext] = {}
+        for steps in steps_list:
+            steps = steps % self.context.slots
+            if steps == 0:
+                results[0] = ct
+                continue
+            key = self.rotation_keys.get(steps)
+            if key is None:
+                raise ValueError(f"no rotation key for {steps} steps")
+            t = self.context.encoder.rotation_automorphism(steps)
+            rotated_digits = [d.automorph(t) for d in raised_digits]
+            pair = self.ksk_inner_product(rotated_digits, key, ct.num_limbs)
+            u, v = self.mod_down_pair(pair)
+            results[steps] = Ciphertext(ct.c0.automorph(t) + u, v, ct.scale)
+        return results
+
+    # ==================================================================
+    # Helpers
+    # ==================================================================
+    def _as_plaintext(
+        self, values: Union[Plaintext, Sequence[complex]], scale: float
+    ) -> Plaintext:
+        if isinstance(values, Plaintext):
+            return values
+        return Plaintext(self.context.encoder.encode(values, scale), scale)
+
+    def _check_scales(self, s1: float, s2: float) -> None:
+        if not math.isclose(s1, s2, rel_tol=self.scale_rtol):
+            raise ValueError(f"scale mismatch: {s1} vs {s2}")

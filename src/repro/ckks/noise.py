@@ -1,0 +1,194 @@
+"""Noise-budget estimation for CKKS ciphertexts.
+
+CKKS is an *approximate* scheme: every operation adds noise that eats into
+the plaintext precision.  This module provides two complementary tools:
+
+* :func:`measured_noise_bits` — the ground truth: decrypt against the known
+  message and report the actual error magnitude (only possible with the
+  secret key, i.e. in tests and development).
+* :class:`NoiseEstimator` — an analytical tracker in the style of the
+  standard CKKS noise analyses (Cheon et al. 2017, Gentry-Halevi-Smart
+  heuristics): per-operation bounds propagated alongside the computation,
+  so circuits can be *budgeted* before running them.
+
+Bounds are tracked in bits (log2 of the expected canonical-embedding error)
+and are deliberately heuristic-average-case, like the estimates production
+libraries print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.params import CkksParams
+
+#: Standard RLWE error deviation used by the key generator.
+DEFAULT_SIGMA = 3.2
+
+
+def measured_noise_bits(
+    decrypted: Sequence[complex],
+    expected: Sequence[complex],
+) -> float:
+    """log2 of the worst-slot absolute error between decryption and truth."""
+    err = np.max(np.abs(np.asarray(decrypted) - np.asarray(expected)))
+    if err == 0:
+        return float("-inf")
+    return float(math.log2(err))
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """An analytical bound on a ciphertext's noise.
+
+    Attributes:
+        noise_bits: log2 of the expected coefficient-domain noise magnitude.
+        scale_bits: log2 of the ciphertext's scaling factor.
+    """
+
+    noise_bits: float
+    scale_bits: float
+
+    @property
+    def precision_bits(self) -> float:
+        """Bits of plaintext precision remaining (scale over noise)."""
+        return self.scale_bits - self.noise_bits
+
+    def is_usable(self, required_bits: float = 4.0) -> bool:
+        """Does the ciphertext retain at least ``required_bits`` precision?"""
+        return self.precision_bits >= required_bits
+
+
+class NoiseEstimator:
+    """Propagates heuristic noise bounds through CKKS operations.
+
+    The bounds follow the usual average-case heuristics: fresh encryption
+    noise ~ ``sigma * sqrt(N)``; addition adds noise magnitudes; rescale
+    divides noise by the dropped modulus and adds a rounding term
+    ~ ``sqrt(N/12) * ||s||``; key switching adds a term governed by the
+    special-modulus ratio ``P``.
+    """
+
+    def __init__(self, params: CkksParams, sigma: float = DEFAULT_SIGMA):
+        self.params = params
+        self.sigma = sigma
+        n = params.ring_degree
+        # Rounding noise of a rescale/ModDown: sqrt(N/12)*(1 + ||s||_can)
+        # with ternary secrets ||s||_can ~ sqrt(2N/3).
+        self._round_bits = 0.5 * math.log2(n / 12.0) + 0.5 * math.log2(
+            1 + 2 * n / 3
+        )
+
+    # ------------------------------------------------------------------
+    def fresh(self, scale_bits: float) -> NoiseEstimate:
+        """Noise of a freshly encrypted ciphertext at ``scale_bits``."""
+        n = self.params.ring_degree
+        noise = math.log2(self.sigma) + 0.5 * math.log2(n) + 1.0
+        return NoiseEstimate(noise_bits=noise, scale_bits=scale_bits)
+
+    # ------------------------------------------------------------------
+    def add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        """Noise of a homomorphic addition (scales must match)."""
+        if abs(a.scale_bits - b.scale_bits) > 0.5:
+            raise ValueError(
+                f"adding ciphertexts at different scales: "
+                f"{a.scale_bits} vs {b.scale_bits} bits"
+            )
+        noise = _log2_sum(a.noise_bits, b.noise_bits)
+        return NoiseEstimate(noise_bits=noise, scale_bits=a.scale_bits)
+
+    def pt_mult(
+        self,
+        ct: NoiseEstimate,
+        pt_scale_bits: float,
+        message_bits: float = 0.0,
+    ) -> NoiseEstimate:
+        """Noise after a plaintext multiplication (before rescale).
+
+        ``message_bits`` bounds log2 of the plaintext magnitude.
+        """
+        noise = ct.noise_bits + pt_scale_bits + message_bits
+        return NoiseEstimate(
+            noise_bits=noise, scale_bits=ct.scale_bits + pt_scale_bits
+        )
+
+    def mult(
+        self,
+        a: NoiseEstimate,
+        b: NoiseEstimate,
+        message_bits: float = 0.0,
+    ) -> NoiseEstimate:
+        """Noise after a ciphertext multiplication + key switch (pre-rescale)."""
+        cross = _log2_sum(
+            a.noise_bits + b.scale_bits + message_bits,
+            b.noise_bits + a.scale_bits + message_bits,
+        )
+        ks = self.key_switch_noise_bits()
+        return NoiseEstimate(
+            noise_bits=_log2_sum(cross, ks),
+            scale_bits=a.scale_bits + b.scale_bits,
+        )
+
+    def rescale(self, ct: NoiseEstimate) -> NoiseEstimate:
+        """Noise after dividing by one ~``log_q``-bit limb."""
+        q_bits = self.params.log_q
+        return NoiseEstimate(
+            noise_bits=_log2_sum(ct.noise_bits - q_bits, self._round_bits),
+            scale_bits=ct.scale_bits - q_bits,
+        )
+
+    def rotate(self, ct: NoiseEstimate) -> NoiseEstimate:
+        """Noise after a rotation (automorphism + key switch)."""
+        return NoiseEstimate(
+            noise_bits=_log2_sum(ct.noise_bits, self.key_switch_noise_bits()),
+            scale_bits=ct.scale_bits,
+        )
+
+    # ------------------------------------------------------------------
+    def key_switch_noise_bits(self) -> float:
+        """Noise added by one hybrid key switch after the ModDown by P.
+
+        The inner product accumulates ``beta`` digit terms of magnitude
+        ~ ``q_digit * sigma * N``; dividing by ``P >= q_digit`` leaves
+        ~ ``sigma * N * beta / 2^(P_slack)`` plus the ModDown rounding.
+        """
+        params = self.params
+        n = params.ring_degree
+        beta = params.dnum
+        digit_bits = params.alpha * params.log_q
+        accumulated = (
+            digit_bits
+            + math.log2(self.sigma)
+            + math.log2(n)
+            + 0.5 * math.log2(beta)
+        )
+        after_mod_down = accumulated - params.log_p
+        return _log2_sum(after_mod_down, self._round_bits)
+
+    # ------------------------------------------------------------------
+    def depth_budget(self, scale_bits: float, required_bits: float = 4.0) -> int:
+        """Multiplicative depth before precision drops below the target.
+
+        Simulates a chain of square-and-rescale operations from a fresh
+        ciphertext and counts how many levels stay usable.
+        """
+        est = self.fresh(scale_bits)
+        depth = 0
+        for _ in range(self.params.max_limbs - 1):
+            est = self.rescale(self.mult(est, est))
+            if not est.is_usable(required_bits):
+                break
+            depth += 1
+        return depth
+
+
+def _log2_sum(a_bits: float, b_bits: float) -> float:
+    """log2(2^a + 2^b) without overflow."""
+    hi, lo = max(a_bits, b_bits), min(a_bits, b_bits)
+    if hi - lo > 60:
+        return hi
+    return hi + math.log2(1.0 + 2.0 ** (lo - hi))

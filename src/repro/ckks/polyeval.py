@@ -1,0 +1,204 @@
+"""Homomorphic polynomial evaluation in the Chebyshev basis.
+
+Bootstrapping's EvalMod phase approximates modular reduction by a scaled
+sine, evaluated as a Chebyshev interpolant.  Working in the Chebyshev basis
+keeps coefficients tiny (monomial coefficients of a degree-60 interpolant
+overflow double precision), and the Paterson-Stockmeyer-style recursion
+below evaluates a degree-``d`` series with ``O(sqrt(d))`` ciphertext
+multiplications at ``O(log d)`` depth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import Evaluator
+
+#: Coefficients below this magnitude are skipped during evaluation.
+_COEFF_TOL = 1e-13
+
+
+def chebyshev_fit(
+    func: Callable[[np.ndarray], np.ndarray],
+    degree: int,
+    interval: Tuple[float, float],
+) -> np.ndarray:
+    """Chebyshev interpolant coefficients of ``func`` over ``interval``.
+
+    Returns coefficients ``c`` such that ``func(x) ~= sum_k c[k] T_k(t)``
+    with ``t = (2x - (a+b)) / (b-a)`` mapped onto ``[-1, 1]``.
+    """
+    a, b = interval
+    if not a < b:
+        raise ValueError(f"invalid interval {interval}")
+
+    def mapped(t):
+        return func((b - a) * (np.asarray(t) + 1.0) / 2.0 + a)
+
+    return np.polynomial.chebyshev.chebinterpolate(mapped, degree)
+
+
+def chebyshev_value(
+    coeffs: Sequence[float], x: np.ndarray, interval: Tuple[float, float]
+) -> np.ndarray:
+    """Numeric reference evaluation of a fitted Chebyshev series."""
+    a, b = interval
+    t = (2.0 * np.asarray(x) - (a + b)) / (b - a)
+    return np.polynomial.chebyshev.chebval(t, coeffs)
+
+
+def _divide_by_t_s(coeffs: List[complex], s: int) -> Tuple[List[complex], List[complex]]:
+    """Split ``p = hi * T_s + lo`` in the Chebyshev basis (degree(p) <= 2s).
+
+    Uses ``T_k = 2 T_s T_{k-s} - T_{|k-2s|}`` for ``k > s`` and
+    ``T_s = T_s T_0`` for ``k = s``.
+    """
+    c = list(coeffs)
+    if len(c) - 1 > 2 * s:
+        raise ValueError(
+            f"degree {len(c) - 1} too large for split at T_{s}"
+        )
+    hi = [0.0] * (len(c) - s)
+    for k in range(len(c) - 1, s - 1, -1):
+        ck = c[k]
+        if ck == 0:
+            continue
+        if k == s:
+            hi[0] += ck
+            c[k] = 0
+            continue
+        hi[k - s] += 2 * ck
+        c[abs(k - 2 * s)] -= ck
+        c[k] = 0
+    return hi, c[:s]
+
+
+class ChebyshevEvaluator:
+    """Evaluates Chebyshev series homomorphically.
+
+    The instance caches the encrypted Chebyshev polynomials ``T_k`` of the
+    argument, so several series (e.g. the real- and imaginary-part sine
+    evaluations in bootstrapping) can share the expensive power basis.
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        ct: Ciphertext,
+        interval: Tuple[float, float],
+        max_degree: int,
+    ):
+        if max_degree < 1:
+            raise ValueError(f"max_degree must be >= 1, got {max_degree}")
+        self.evaluator = evaluator
+        self.interval = interval
+        self.max_degree = max_degree
+        # Baby-step count: power of two near sqrt(degree).
+        self.baby = 1 << max(
+            int(math.ceil(math.log2(math.sqrt(max_degree + 1)))), 1
+        )
+        self._powers: dict = {}
+        self._build_argument(ct)
+        self._build_basis()
+
+    # ------------------------------------------------------------------
+    def _build_argument(self, ct: Ciphertext) -> None:
+        """Map the argument onto [-1, 1]: ``t = (2x - (a+b)) / (b-a)``."""
+        a, b = self.interval
+        ev = self.evaluator
+        n = ev.context.slots
+        scaled = ev.pt_mult(ct, [2.0 / (b - a)] * n)
+        self._powers[1] = ev.pt_add(scaled, [-(a + b) / (b - a)] * n)
+
+    def _build_basis(self) -> None:
+        """Compute baby T_2..T_{m-1} and giant T_m, T_2m, ... T_k chains."""
+        for k in range(2, self.baby):
+            self._powers[k] = self._chebyshev_step(k)
+        s = self.baby
+        while s <= self.max_degree:
+            self._powers[s] = self._chebyshev_step(s)
+            s *= 2
+
+    def _chebyshev_step(self, k: int) -> Ciphertext:
+        """``T_k`` from lower-index entries via the product rule."""
+        ev = self.evaluator
+        hi = (k + 1) // 2
+        lo = k // 2
+        product = ev.mult(self.power(hi), self.power(lo))
+        doubled = ev.add(product, product)
+        n = ev.context.slots
+        if k % 2 == 0:
+            # T_{2a} = 2 T_a^2 - 1.
+            return ev.pt_add(doubled, [-1.0] * n)
+        # T_{a+b} = 2 T_a T_b - T_{a-b} with a - b = 1.
+        return ev.sub(doubled, self.power(1))
+
+    def power(self, k: int) -> Ciphertext:
+        """The cached encryption of ``T_k(t)``."""
+        try:
+            return self._powers[k]
+        except KeyError:
+            raise ValueError(f"T_{k} was not precomputed") from None
+
+    # ------------------------------------------------------------------
+    def evaluate(self, coeffs: Sequence[complex]) -> Ciphertext:
+        """Evaluate ``sum_k coeffs[k] T_k(t)`` homomorphically."""
+        coeffs = list(coeffs)
+        if len(coeffs) - 1 > self.max_degree:
+            raise ValueError(
+                f"series degree {len(coeffs) - 1} exceeds max_degree "
+                f"{self.max_degree}"
+            )
+        result = self._evaluate_recursive(coeffs)
+        if result is None:
+            raise ValueError("series has no significant coefficients")
+        return result
+
+    def _evaluate_recursive(
+        self, coeffs: List[complex]
+    ) -> Optional[Ciphertext]:
+        # Trim trailing negligible coefficients.
+        while coeffs and abs(coeffs[-1]) < _COEFF_TOL:
+            coeffs.pop()
+        if not coeffs:
+            return None
+        degree = len(coeffs) - 1
+        if degree < self.baby:
+            return self._evaluate_direct(coeffs)
+        # Split at the smallest giant power covering half the degree.
+        s = self.baby
+        while 2 * s < degree + 1:
+            s *= 2
+        hi, lo = _divide_by_t_s(coeffs, s)
+        ev = self.evaluator
+        hi_ct = self._evaluate_recursive(hi)
+        lo_ct = self._evaluate_recursive(lo)
+        if hi_ct is None:
+            return lo_ct
+        combined = ev.mult(hi_ct, self.power(s))
+        if lo_ct is None:
+            return combined
+        return ev.add(combined, lo_ct)
+
+    def _evaluate_direct(self, coeffs: List[complex]) -> Optional[Ciphertext]:
+        """Direct baby-polynomial sum ``sum c_k T_k`` for degree < m."""
+        ev = self.evaluator
+        n = ev.context.slots
+        acc = None
+        for k in range(1, len(coeffs)):
+            if abs(coeffs[k]) < _COEFF_TOL:
+                continue
+            term = ev.pt_mult(self.power(k), [coeffs[k]] * n)
+            acc = term if acc is None else ev.add(acc, term)
+        if acc is None:
+            if abs(coeffs[0]) < _COEFF_TOL:
+                return None
+            # Constant-only series: encode it on a zero multiple of T_1.
+            acc = ev.pt_mult(self.power(1), [0.0] * n)
+        if abs(coeffs[0]) >= _COEFF_TOL:
+            acc = ev.pt_add(acc, [coeffs[0]] * n)
+        return acc

@@ -1,0 +1,155 @@
+"""Radix-2 factorization of the CKKS homomorphic DFT ("special FFT").
+
+The canonical-embedding evaluation map factors into ``log2(n)`` butterfly
+levels, each a slot-linear operator with non-zero diagonals only at offsets
+``{0, +/-stride}`` — which is what makes the multi-iteration
+CoeffToSlot/SlotToCoeff of bootstrapping cheap: grouping the levels into
+``fftIter`` stages gives stage matrices with ``O(n^(1/fftIter))`` diagonals
+instead of one dense matrix.
+
+Derivation sketch (decimation in time over the rotation group
+``e_j = 5^j mod 2N``): splitting a degree-``N`` coefficient vector into
+even/odd halves gives ``z_j = E_j + zeta^{e_j} O_j`` and — because
+``5^(n/2) = N+1 (mod 2N)`` — ``z_{j+n/2} = E_j - zeta^{e_j} O_j``, the
+classic butterfly, with both sub-problems being the same operator at half
+size.  Iterating down to pairs, the leaf state is exactly the complex
+packing ``c[sigma(b)] + i c[sigma(b)+n]`` of the coefficients in
+*bit-reversed* order ``sigma``.  Bootstrapping tolerates the permutation:
+EvalMod applies the same function to every slot, and SlotToCoeff (the same
+factors, inverted, in reverse order) consumes the identical ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.ckks.encoding import Encoder
+
+
+def leaf_permutation(slots: int) -> List[int]:
+    """The even/odd split order ``sigma``: leaf block ``b`` holds the
+    coefficient pair ``(c[sigma(b)], c[sigma(b) + slots])``."""
+    return _split_recursive(list(range(2 * slots)))
+
+
+def _split_recursive(indices: List[int]) -> List[int]:
+    """Recursively split [evens | odds] until pairs remain; return the
+    first element of each final pair (the second is always +n apart)."""
+    if len(indices) == 2:
+        return [indices[0]]
+    evens = _split_recursive(indices[0::2])
+    odds = _split_recursive(indices[1::2])
+    return evens + odds
+
+
+class SpecialFft:
+    """Butterfly-level factorization of an encoder's slot<->coeff maps.
+
+    ``level_matrices[t]`` (t = 0 .. log2(n)-1, leaf to root) are complex
+    ``n x n`` operators; their ordered product maps the bit-reversed packed
+    coefficient state to the encoder's slot values:
+
+        slots(c) = L_{last} @ ... @ L_0 @ leaf_state(c)
+
+    with ``leaf_state(c)[b] = c[sigma(b)] + 1j * c[sigma(b) + n]``.
+    """
+
+    def __init__(self, encoder: Encoder):
+        self.encoder = encoder
+        self.slots = encoder.slots
+        self.levels = int(math.log2(self.slots))
+        if 2**self.levels != self.slots:
+            raise ValueError("slot count must be a power of two")
+        self.sigma = _split_recursive(list(range(2 * self.slots)))
+        self.level_matrices = [
+            self._build_level(t) for t in range(self.levels)
+        ]
+
+    # ------------------------------------------------------------------
+    def _build_level(self, t: int) -> np.ndarray:
+        """Level ``t`` butterfly operator (leaf = level 0).
+
+        After level ``t`` completes, blocks have length ``2^(t+1)``; the
+        sub-ring degree is ``N_cur = 2^(t+2)`` and twiddles are
+        ``zeta_{2 N_cur}^{5^j mod 2 N_cur}``.
+        """
+        n = self.slots
+        half = 2**t  # half-block length being combined
+        n_cur = 4 * half
+        two_n_cur = 2 * n_cur
+        zeta = np.exp(2j * np.pi / two_n_cur)
+        matrix = np.zeros((n, n), dtype=np.complex128)
+        for block_start in range(0, n, 2 * half):
+            for j in range(half):
+                tw = zeta ** pow(5, j, two_n_cur)
+                top = block_start + j
+                bot = block_start + half + j
+                matrix[top, top] = 1.0
+                matrix[top, bot] = tw
+                matrix[bot, top] = 1.0
+                matrix[bot, bot] = -tw
+        return matrix
+
+    # ------------------------------------------------------------------
+    def leaf_state(self, coeffs: np.ndarray) -> np.ndarray:
+        """Pack a real coefficient vector into the bit-reversed leaf state."""
+        c = np.asarray(coeffs, dtype=np.float64)
+        n = self.slots
+        if c.shape != (2 * n,):
+            raise ValueError(f"expected {2 * n} coefficients, got {c.shape}")
+        sigma = np.asarray(self.sigma)
+        return c[sigma] + 1j * c[sigma + n]
+
+    def unpack_leaf_state(self, state: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`leaf_state`."""
+        n = self.slots
+        coeffs = np.zeros(2 * n)
+        sigma = np.asarray(self.sigma)
+        coeffs[sigma] = state.real
+        coeffs[sigma + n] = state.imag
+        return coeffs
+
+    # ------------------------------------------------------------------
+    def slot_to_coeff_full(self) -> np.ndarray:
+        """Product of all levels: leaf state -> encoder slot values."""
+        product = np.eye(self.slots, dtype=np.complex128)
+        for matrix in self.level_matrices:
+            product = matrix @ product
+        return product
+
+    def coeff_to_slot_full(self) -> np.ndarray:
+        """Inverse product: encoder slot values -> leaf state."""
+        product = np.eye(self.slots, dtype=np.complex128)
+        for matrix in self.level_matrices:
+            product = product @ np.linalg.inv(matrix)
+        return product
+
+    # ------------------------------------------------------------------
+    def grouped_stages(self, fft_iter: int, inverse: bool = False) -> List[np.ndarray]:
+        """Group the ``log2(n)`` levels into ``fft_iter`` stage matrices.
+
+        ``inverse=False`` gives SlotToCoeff stages (applied leaf->root);
+        ``inverse=True`` gives CoeffToSlot stages (root->leaf).  Each stage
+        is the product of ``~log2(n)/fft_iter`` butterfly levels and has
+        ``O(2^(levels per stage))`` non-zero diagonals.
+        """
+        if not 1 <= fft_iter <= self.levels:
+            raise ValueError(
+                f"fft_iter must be in [1, {self.levels}], got {fft_iter}"
+            )
+        # Split level indices into fft_iter contiguous groups.
+        bounds = [
+            round(i * self.levels / fft_iter) for i in range(fft_iter + 1)
+        ]
+        stages = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            product = np.eye(self.slots, dtype=np.complex128)
+            for matrix in self.level_matrices[lo:hi]:
+                product = matrix @ product
+            stages.append(product)
+        if inverse:
+            return [np.linalg.inv(stage) for stage in reversed(stages)]
+        return stages

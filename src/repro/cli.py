@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables/figures or run ad-hoc analyses:
+
+    python -m repro table4
+    python -m repro table6
+    python -m repro fig2
+    python -m repro bootstrap --params optimal --config all
+    python -m repro search --multipliers 4096 --bandwidth 1000 --cache-mb 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import BootstrapModel, CacheModel, MADConfig
+
+_PARAM_SETS = {"baseline": BASELINE_JUNG, "optimal": MAD_OPTIMAL}
+_CONFIGS = {
+    "none": MADConfig.none,
+    "caching": MADConfig.caching_only,
+    "all": MADConfig.all,
+}
+
+
+def _cmd_table4(args) -> int:
+    from repro.report import generate_table4, render_table4
+
+    config = _CONFIGS[args.config]()
+    print(render_table4(generate_table4(_PARAM_SETS[args.params], config)))
+    return 0
+
+
+def _cmd_table5(args) -> int:
+    from repro.report import generate_table5, render_table5
+    from repro.search import enumerate_parameter_space
+
+    candidates = None
+    if args.quick:
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(50, 54, 58),
+                max_limbs_choices=(35, 40),
+                dnum_choices=(2, 3),
+                fft_iter_choices=(3, 4, 6),
+            )
+        )
+    print(render_table5(generate_table5(candidates=candidates)))
+    return 0
+
+
+def _cmd_table6(args) -> int:
+    from repro.report import generate_table6, render_table6
+
+    print(render_table6(generate_table6()))
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.report import generate_fig1
+
+    data = generate_fig1()
+    print(
+        f"Rotate, {data['limbs']} limbs:\n"
+        f"  naive: {data['naive_reads']:.0f} reads / "
+        f"{data['naive_writes']:.0f} writes\n"
+        f"  O(1) : {data['cached_reads']:.0f} reads / "
+        f"{data['cached_writes']:.0f} writes\n"
+        f"  saved: {data['saved_mb']:.0f} MB"
+    )
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.report import generate_fig2
+
+    for p in generate_fig2():
+        print(
+            f"{p.label:18} {p.dram_gb:7.1f} GB "
+            f"({p.reduction_vs_baseline:6.1%} vs baseline)"
+        )
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.report import generate_fig3
+
+    for p in generate_fig3(_PARAM_SETS[args.params]):
+        print(
+            f"{p.label:20} {p.giga_ops:7.1f} Gops, ct {p.ct_dram_gb:6.1f} GB, "
+            f"keys {p.key_read_gb:5.1f} GB, AI {p.arithmetic_intensity:.2f}"
+        )
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.hardware import PRIOR_DESIGNS
+    from repro.report import generate_fig6_lr, generate_fig6_resnet
+
+    design = PRIOR_DESIGNS[args.design]
+    sizes = [float(s) for s in args.caches.split(",")]
+    generator = generate_fig6_lr if args.workload == "lr" else generate_fig6_resnet
+    for bar in generator(design, sizes):
+        print(
+            f"{bar.label:30} {bar.seconds:9.3f} s ({bar.bound}-bound) "
+            f"{bar.speedup_vs_original:6.2f}x"
+        )
+    return 0
+
+
+def _cmd_bootstrap(args) -> int:
+    params = _PARAM_SETS[args.params]
+    config = _CONFIGS[args.config]()
+    cache = CacheModel.from_mb(args.cache_mb) if args.cache_mb else None
+    breakdown = BootstrapModel(params, config, cache).cost()
+    print(params.describe())
+    for name, cost in breakdown.phases().items():
+        print(
+            f"  {name:14} {cost.giga_ops():8.1f} Gops  "
+            f"{cost.gigabytes():7.1f} GB  AI {cost.arithmetic_intensity:5.2f}"
+        )
+    total = breakdown.total
+    print(
+        f"  {'Total':14} {total.giga_ops():8.1f} Gops  "
+        f"{total.gigabytes():7.1f} GB  AI {total.arithmetic_intensity:5.2f}"
+    )
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    params = _PARAM_SETS[args.params]
+    config = _CONFIGS[args.config]()
+    print(params.describe())
+    print(BootstrapModel(params, config).ledger().render())
+    return 0
+
+
+def _cmd_balance(args) -> int:
+    from repro.hardware import PRIOR_DESIGNS, balance_point, mad_counterpart, render_balance
+
+    cost = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+    for name, design in PRIOR_DESIGNS.items():
+        mad = mad_counterpart(design)
+        print(render_balance(mad.name, balance_point(cost, mad)))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.hardware import HardwareDesign
+    from repro.search import enumerate_parameter_space, find_optimal_parameters
+
+    design = HardwareDesign(
+        name="custom",
+        modular_multipliers=args.multipliers,
+        on_chip_mb=args.cache_mb,
+        bandwidth_gb_s=args.bandwidth,
+        params=BASELINE_JUNG,
+    )
+    candidates = None
+    if args.quick:
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(46, 50, 54, 58),
+                max_limbs_choices=(30, 35, 40),
+                dnum_choices=(1, 2, 3),
+                fft_iter_choices=(3, 4, 6),
+            )
+        )
+    for rank, result in enumerate(
+        find_optimal_parameters(design, candidates=candidates, top=args.top),
+        start=1,
+    ):
+        print(f"#{rank} {result.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAD / SimFHE reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table4", help="per-primitive ops/DRAM/AI table")
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser("table5", help="memory-aware optimal parameters")
+    p.add_argument("--quick", action="store_true", help="search a small grid")
+    p.set_defaults(func=_cmd_table5)
+
+    p = sub.add_parser("table6", help="bootstrapping design comparison")
+    p.set_defaults(func=_cmd_table6)
+
+    p = sub.add_parser("fig1", help="Rotate O(1)-caching example")
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="caching-optimization ladder")
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="algorithmic-optimization ladder")
+    p.add_argument("--params", choices=_PARAM_SETS, default="optimal")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig6", help="ML application comparison")
+    p.add_argument("--workload", choices=("lr", "resnet"), default="lr")
+    p.add_argument("--design", default="BTS")
+    p.add_argument("--caches", default="32,256")
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("bootstrap", help="bootstrap cost breakdown")
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.add_argument("--cache-mb", type=float, default=None)
+    p.set_defaults(func=_cmd_bootstrap)
+
+    p = sub.add_parser("ledger", help="labeled bootstrap cost ledger")
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.set_defaults(func=_cmd_ledger)
+
+    p = sub.add_parser("balance", help="roofline balance of MAD design points")
+    p.set_defaults(func=_cmd_balance)
+
+    p = sub.add_parser("search", help="parameter search for a hardware budget")
+    p.add_argument("--multipliers", type=int, default=4096)
+    p.add_argument("--bandwidth", type=float, default=1000)
+    p.add_argument("--cache-mb", type=float, default=32)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_search)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

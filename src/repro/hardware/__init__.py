@@ -1,0 +1,35 @@
+"""Hardware design points and roofline runtime estimation (Table 6, Fig. 6)."""
+
+from repro.hardware.design import HardwareDesign
+from repro.hardware.designs import (
+    ARK,
+    BTS,
+    CRATERLAKE,
+    F1,
+    GPU_JUNG,
+    PRIOR_DESIGNS,
+    mad_counterpart,
+)
+from repro.hardware.runtime import RuntimeEstimate, estimate_runtime
+from repro.hardware.roofline import BalancePoint, balance_point, render_balance
+from repro.hardware.area import NODES, TechnologyNode, chip_area, relative_cost
+
+__all__ = [
+    "BalancePoint",
+    "balance_point",
+    "render_balance",
+    "NODES",
+    "TechnologyNode",
+    "chip_area",
+    "relative_cost",
+    "HardwareDesign",
+    "GPU_JUNG",
+    "F1",
+    "BTS",
+    "ARK",
+    "CRATERLAKE",
+    "PRIOR_DESIGNS",
+    "mad_counterpart",
+    "RuntimeEstimate",
+    "estimate_runtime",
+]

@@ -1,0 +1,98 @@
+"""Chip area and cost model (Section 4.4: performance vs. area/cost).
+
+The paper's cost argument: prior ASICs buy bandwidth relief with enormous
+on-chip memories (256-512 MB), which dominates chip area at advanced nodes
+and therefore cost; MAD needs only 32 MB, "which proportionally reduces the
+cost of the solution".
+
+This module provides a coarse but explicit model: chip area is SRAM area
+(MB x density) plus modular-multiplier logic area, and relative cost is
+area times a per-node cost factor (advanced nodes are much more expensive
+per mm^2 — cf. Khazraee et al., "Moonwalk", and the paper's [3, 23]
+citations).  The constants are order-of-magnitude figures from published
+design papers (BTS: 512 MB + 8192 multipliers in 373 mm^2 at 7 nm;
+CraterLake: 256 MB in ~472 mm^2 at 14/12 nm); they are meant for *ratios*,
+not sign-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.design import HardwareDesign
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A process node's area/cost characteristics.
+
+    Attributes:
+        name: marketing name, e.g. "7nm".
+        sram_mm2_per_mb: high-density SRAM macro area per MB.
+        logic_mm2_per_kmult: logic area per 1000 word-sized modular
+            multipliers (including pipeline registers and routing).
+        cost_per_mm2: relative manufacturing+NRE cost per mm^2
+            (normalised to 28 nm = 1.0).
+    """
+
+    name: str
+    sram_mm2_per_mb: float
+    logic_mm2_per_kmult: float
+    cost_per_mm2: float
+
+    def __post_init__(self) -> None:
+        if min(self.sram_mm2_per_mb, self.logic_mm2_per_kmult, self.cost_per_mm2) <= 0:
+            raise ValueError("node characteristics must be positive")
+
+
+#: Order-of-magnitude node characteristics (see module docstring).
+NODES: Dict[str, TechnologyNode] = {
+    "7nm": TechnologyNode("7nm", sram_mm2_per_mb=0.45, logic_mm2_per_kmult=1.6, cost_per_mm2=4.0),
+    "14nm": TechnologyNode("14nm", sram_mm2_per_mb=1.1, logic_mm2_per_kmult=4.0, cost_per_mm2=2.0),
+    "28nm": TechnologyNode("28nm", sram_mm2_per_mb=2.6, logic_mm2_per_kmult=10.0, cost_per_mm2=1.0),
+}
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Area/cost split of one design on one node."""
+
+    node: str
+    sram_mm2: float
+    logic_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.sram_mm2 + self.logic_mm2
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of die area spent on on-chip memory."""
+        return self.sram_mm2 / self.total_mm2
+
+    def relative_cost(self, node: TechnologyNode) -> float:
+        return self.total_mm2 * node.cost_per_mm2
+
+
+def chip_area(design: HardwareDesign, node: TechnologyNode) -> AreaEstimate:
+    """Estimate the die area of ``design`` on ``node``."""
+    return AreaEstimate(
+        node=node.name,
+        sram_mm2=design.on_chip_mb * node.sram_mm2_per_mb,
+        logic_mm2=design.modular_multipliers / 1000.0 * node.logic_mm2_per_kmult,
+    )
+
+
+def relative_cost(design: HardwareDesign, node: TechnologyNode) -> float:
+    """Relative manufacturing cost of ``design`` on ``node``."""
+    return chip_area(design, node).relative_cost(node)
+
+
+def performance_per_cost(
+    runtime_seconds: float, design: HardwareDesign, node: TechnologyNode
+) -> float:
+    """Workloads-per-second per unit cost — the Section 4.4 figure of merit."""
+    if runtime_seconds <= 0:
+        raise ValueError("runtime must be positive")
+    return (1.0 / runtime_seconds) / relative_cost(design, node)

@@ -1,0 +1,74 @@
+"""Hardware design-point description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.params import CkksParams
+from repro.perf.cache import CacheModel
+
+
+@dataclass(frozen=True)
+class HardwareDesign:
+    """A compute platform as characterised in Table 6 of the paper.
+
+    Args:
+        name: display name.
+        modular_multipliers: parallel word-sized modular multipliers (the
+            paper's "Modular Multiplier Count"; GPUs are characterised by an
+            equivalent count).
+        on_chip_mb: on-chip memory (SRAM/cache/register file) in MB.
+        bandwidth_gb_s: main-memory bandwidth in GB/s (decimal).
+        params: the CKKS parameter set the design runs.
+        frequency_ghz: clock frequency (all paper ASICs use 1 GHz).
+        reported_bootstrap_ms: bootstrapping runtime reported by the
+            design's original paper (used for the "original" rows in the
+            comparison tables; our roofline regenerates the MAD rows).
+        bootstrap_slots: plaintext slots the design bootstraps at once
+            (F1's unpacked bootstrapping has 1).
+    """
+
+    name: str
+    modular_multipliers: int
+    on_chip_mb: float
+    bandwidth_gb_s: float
+    params: CkksParams
+    frequency_ghz: float = 1.0
+    reported_bootstrap_ms: Optional[float] = None
+    bootstrap_slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.modular_multipliers <= 0:
+            raise ValueError("modular_multipliers must be positive")
+        if self.on_chip_mb <= 0 or self.bandwidth_gb_s <= 0:
+            raise ValueError("memory characteristics must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def cache(self) -> CacheModel:
+        return CacheModel.from_mb(self.on_chip_mb)
+
+    @property
+    def slots(self) -> int:
+        """Slots used for bootstrapping throughput (defaults to n = N/2)."""
+        if self.bootstrap_slots is not None:
+            return self.bootstrap_slots
+        return self.params.slots
+
+    @property
+    def compute_ops_per_second(self) -> float:
+        """Peak word-sized modular operations per second."""
+        return self.modular_multipliers * self.frequency_ghz * 1e9
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        return self.bandwidth_gb_s * 1e9
+
+    def with_memory(self, on_chip_mb: float) -> "HardwareDesign":
+        """The same design with a different on-chip memory size."""
+        return replace(self, on_chip_mb=on_chip_mb)
+
+    def with_params(self, params: CkksParams) -> "HardwareDesign":
+        return replace(self, params=params)

@@ -1,0 +1,109 @@
+"""Design-point presets from Table 6 of the paper.
+
+The "original" designs carry their published parameter sets, on-chip
+memory, bandwidth and reported bootstrapping runtimes.  The paper compares
+each against a MAD design point with the *same* multiplier count and
+bandwidth but only 32 MB of on-chip memory running the memory-aware optimal
+parameters — :func:`mad_counterpart` builds exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.params import MAD_OPTIMAL, BASELINE_JUNG, CkksParams
+from repro.hardware.design import HardwareDesign
+
+#: Jung et al. [20] — GPU (Tesla V100-class).  The paper lists no multiplier
+#: count for the GPU and pairs it with a 2250-multiplier MAD design; we use
+#: that figure as the equivalent compute width.
+GPU_JUNG = HardwareDesign(
+    name="GPU [Jung et al.]",
+    modular_multipliers=2250,
+    on_chip_mb=6,
+    bandwidth_gb_s=900,
+    params=BASELINE_JUNG,
+    reported_bootstrap_ms=328.7,
+)
+
+#: F1 [Samardzic et al., MICRO'21] — small parameters, unpacked bootstrap.
+F1 = HardwareDesign(
+    name="F1",
+    modular_multipliers=18432,
+    on_chip_mb=64,
+    bandwidth_gb_s=1000,
+    params=CkksParams(
+        log_n=14,
+        log_q=32,
+        max_limbs=16,
+        dnum=16,
+        fft_iter=1,
+        eval_mod_depth=1,
+        bit_precision=24,
+    ),
+    reported_bootstrap_ms=1.3,
+    bootstrap_slots=1,  # unpacked: one element per bootstrap
+)
+
+#: BTS [Kim et al.] — 512 MB of on-chip memory.
+BTS = HardwareDesign(
+    name="BTS",
+    modular_multipliers=8192,
+    on_chip_mb=512,
+    bandwidth_gb_s=1000,
+    params=CkksParams(log_n=17, log_q=50, max_limbs=36, dnum=3),
+    reported_bootstrap_ms=50.43,
+)
+
+#: ARK [Kim et al.] — N = 2^16, heavy algorithmic key reuse, 512 MB.
+ARK = HardwareDesign(
+    name="ARK",
+    modular_multipliers=20480,
+    on_chip_mb=512,
+    bandwidth_gb_s=1000,
+    params=CkksParams(log_n=16, log_q=54, max_limbs=23, dnum=4, fft_iter=3),
+    reported_bootstrap_ms=3.9,
+)
+
+#: CraterLake [Samardzic et al., ISCA'22] — 256 MB, 2.4 TB/s.
+CRATERLAKE = HardwareDesign(
+    name="CraterLake",
+    modular_multipliers=14336,
+    on_chip_mb=256,
+    bandwidth_gb_s=2400,
+    params=CkksParams(
+        log_n=17,
+        log_q=28,
+        max_limbs=41,
+        dnum=6,
+        fft_iter=3,
+        # EvalMod's ~9 multiplications at ~50-bit scale cost 16 of
+        # CraterLake's narrow 28-bit limbs.
+        eval_mod_depth=16,
+        word_bytes=4,  # 28-bit limbs pack into 32-bit words
+    ),
+    reported_bootstrap_ms=6.33,
+)
+
+PRIOR_DESIGNS: Dict[str, HardwareDesign] = {
+    design.name: design
+    for design in (GPU_JUNG, F1, BTS, ARK, CRATERLAKE)
+}
+
+
+def mad_counterpart(
+    design: HardwareDesign, on_chip_mb: float = 32
+) -> HardwareDesign:
+    """The MAD design point matched to ``design`` (Table 6 pairing).
+
+    Same multiplier count, frequency and bandwidth; 32 MB on-chip memory;
+    the memory-aware optimal parameter set of Table 5.
+    """
+    return HardwareDesign(
+        name=f"{design.name}+MAD-{on_chip_mb:g}",
+        modular_multipliers=design.modular_multipliers,
+        on_chip_mb=on_chip_mb,
+        bandwidth_gb_s=design.bandwidth_gb_s,
+        params=MAD_OPTIMAL,
+        frequency_ghz=design.frequency_ghz,
+    )

@@ -1,0 +1,73 @@
+"""Roofline balance analysis (Section 4.2's balanced-design discussion).
+
+The paper: after applying MAD, "we need to increase the compute throughput
+by 2x in BTS, 1.05x in ARK, and 3.5x in CraterLake to generate a balanced
+design" — i.e. a design where compute time equals memory time, so neither
+resource idles.  These helpers compute exactly those balance factors for
+any workload/design pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.events import CostReport
+from repro.hardware.design import HardwareDesign
+from repro.hardware.runtime import RuntimeEstimate, estimate_runtime
+
+
+@dataclass(frozen=True)
+class BalancePoint:
+    """What it would take to balance a design on a workload."""
+
+    runtime: RuntimeEstimate
+    #: Multiply compute throughput by this to equalise the roofline
+    #: (>1 means the design is compute-starved for this workload).
+    compute_scaling: float
+    #: Multiply memory bandwidth by this to equalise the roofline.
+    bandwidth_scaling: float
+    #: Bandwidth (GB/s) at which this workload becomes balanced with the
+    #: design's current compute throughput.
+    balanced_bandwidth_gb_s: float
+    #: Modular multipliers needed for balance at the current bandwidth.
+    balanced_multipliers: int
+
+
+def balance_point(cost: CostReport, design: HardwareDesign) -> BalancePoint:
+    """Analyse how far ``design`` is from a balanced roofline on ``cost``."""
+    runtime = estimate_runtime(cost, design)
+    if runtime.memory_seconds == 0 or runtime.compute_seconds == 0:
+        raise ValueError("workload must exercise both compute and memory")
+    compute_scaling = runtime.compute_seconds / runtime.memory_seconds
+    bandwidth_scaling = runtime.memory_seconds / runtime.compute_seconds
+    balanced_bw = (
+        cost.traffic.total / runtime.compute_seconds / 1e9
+    )
+    balanced_mults = max(
+        1,
+        round(
+            cost.ops.total
+            / (runtime.memory_seconds * design.frequency_ghz * 1e9)
+        ),
+    )
+    return BalancePoint(
+        runtime=runtime,
+        compute_scaling=compute_scaling,
+        bandwidth_scaling=bandwidth_scaling,
+        balanced_bandwidth_gb_s=balanced_bw,
+        balanced_multipliers=balanced_mults,
+    )
+
+
+def render_balance(name: str, point: BalancePoint) -> str:
+    rt = point.runtime
+    need = (
+        f"needs {point.compute_scaling:.2f}x compute"
+        if point.compute_scaling > 1
+        else f"needs {point.bandwidth_scaling:.2f}x bandwidth"
+    )
+    return (
+        f"{name:24} {rt.milliseconds:8.2f} ms ({rt.bound}-bound); "
+        f"balanced at {point.balanced_bandwidth_gb_s:7.0f} GB/s or "
+        f"{point.balanced_multipliers:6d} multipliers; {need} for balance"
+    )

@@ -1,0 +1,57 @@
+"""Roofline runtime estimation.
+
+Following Section 4.2 of the paper: compute latency is the operation count
+divided by the parallel modular-arithmetic throughput (multiplier count x
+frequency), memory latency is total DRAM bytes divided by bandwidth, and —
+since DRAM transfer and compute overlap on every platform modelled — the
+runtime is the maximum of the two.  Whichever term wins classifies the
+design as compute- or memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.events import CostReport
+from repro.hardware.design import HardwareDesign
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """Roofline runtime of a workload on a design."""
+
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def bound(self) -> str:
+        """Which resource limits this design: 'compute' or 'memory'."""
+        return (
+            "compute"
+            if self.compute_seconds >= self.memory_seconds
+            else "memory"
+        )
+
+    @property
+    def balance(self) -> float:
+        """compute/memory time ratio; 1.0 is a perfectly balanced design."""
+        if self.memory_seconds == 0:
+            return float("inf")
+        return self.compute_seconds / self.memory_seconds
+
+
+def estimate_runtime(
+    cost: CostReport, design: HardwareDesign
+) -> RuntimeEstimate:
+    """Roofline runtime of ``cost`` on ``design``."""
+    compute = cost.ops.total / design.compute_ops_per_second
+    memory = cost.traffic.total / design.bandwidth_bytes_per_second
+    return RuntimeEstimate(compute_seconds=compute, memory_seconds=memory)

@@ -1,0 +1,31 @@
+"""Number-theory substrate: primality, modular arithmetic, NTT, CRT.
+
+This package provides the exact-arithmetic building blocks used by the
+functional RNS-CKKS layer (:mod:`repro.ring`, :mod:`repro.ckks`).  Everything
+here operates on plain Python integers so that word sizes are unconstrained
+(CKKS limb moduli are typically 40-60 bits and their products overflow any
+fixed-width dtype).
+"""
+
+from repro.numth.modular import centered_mod, mod_inverse, mod_pow
+from repro.numth.primes import (
+    find_ntt_primes,
+    is_prime,
+    primitive_root,
+    root_of_unity,
+)
+from repro.numth.ntt import NttContext
+from repro.numth.crt import crt_reconstruct, to_rns
+
+__all__ = [
+    "centered_mod",
+    "mod_inverse",
+    "mod_pow",
+    "is_prime",
+    "find_ntt_primes",
+    "primitive_root",
+    "root_of_unity",
+    "NttContext",
+    "crt_reconstruct",
+    "to_rns",
+]

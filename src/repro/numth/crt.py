@@ -1,0 +1,34 @@
+"""Chinese-remainder-theorem helpers for the residue number system."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.numth.modular import mod_inverse
+
+
+def to_rns(value: int, moduli: Sequence[int]) -> List[int]:
+    """Split an integer into its residues modulo each limb modulus."""
+    return [value % q for q in moduli]
+
+
+def crt_reconstruct(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Reconstruct ``x mod prod(moduli)`` from its RNS residues.
+
+    This is the exact inverse of :func:`to_rns` for values in
+    ``[0, prod(moduli))``.  The moduli must be pairwise coprime.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError(
+            f"got {len(residues)} residues for {len(moduli)} moduli"
+        )
+    if not moduli:
+        raise ValueError("need at least one modulus")
+    total = 1
+    for q in moduli:
+        total *= q
+    acc = 0
+    for r, q in zip(residues, moduli):
+        big_q = total // q
+        acc += r * big_q % total * mod_inverse(big_q % q, q) % total
+    return acc % total

@@ -1,0 +1,40 @@
+"""Modular-arithmetic helpers shared across the exact-arithmetic stack."""
+
+from __future__ import annotations
+
+
+def mod_pow(base: int, exponent: int, modulus: int) -> int:
+    """Return ``base ** exponent mod modulus`` for a non-negative exponent."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    return pow(base, exponent, modulus)
+
+
+def mod_inverse(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`ValueError` when the inverse does not exist (i.e. when
+    ``gcd(value, modulus) != 1``).
+    """
+    if modulus <= 1:
+        raise ValueError(f"modulus must be > 1, got {modulus}")
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as exc:  # pragma: no cover - message normalisation
+        raise ValueError(f"{value} has no inverse modulo {modulus}") from exc
+
+
+def centered_mod(value: int, modulus: int) -> int:
+    """Reduce ``value`` into the centered interval ``(-modulus/2, modulus/2]``.
+
+    CKKS decodes plaintexts from the centered representation: a coefficient
+    close to ``q`` actually encodes a small negative number.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    reduced = value % modulus
+    if reduced > modulus // 2:
+        reduced -= modulus
+    return reduced

@@ -1,0 +1,130 @@
+"""Negacyclic number-theoretic transform over a prime field.
+
+The CKKS ciphertext ring is ``Z_q[x]/(x^N + 1)``.  Multiplication in this ring
+is a *negacyclic* convolution, which becomes a pointwise product after an
+NTT twisted by a primitive ``2N``-th root of unity ``psi``:
+
+    forward:  a_hat = NTT_omega(a_i * psi^i),   omega = psi^2
+    inverse:  a_i   = psi^{-i} / N * INTT_omega(a_hat)
+
+The implementation is an iterative radix-2 Cooley-Tukey transform on plain
+Python integers, with all twiddle factors precomputed per ``(N, q)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.numth.modular import mod_inverse, mod_pow
+from repro.numth.primes import root_of_unity
+
+
+def _bit_reverse_table(n: int) -> List[int]:
+    bits = n.bit_length() - 1
+    table = [0] * n
+    for i in range(n):
+        table[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    return table
+
+
+class NttContext:
+    """Precomputed negacyclic NTT plan for ring degree ``n`` and modulus ``q``.
+
+    Instances are immutable and safe to share; building one costs
+    ``O(n log n)`` integer operations.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"ring degree must be a power of two >= 2, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(
+                f"modulus {q} does not support a degree-{n} negacyclic NTT "
+                f"(need q = 1 mod 2N)"
+            )
+        self.n = n
+        self.q = q
+        self.psi = root_of_unity(2 * n, q)
+        self.omega = self.psi * self.psi % q
+        self._psi_powers = self._powers(self.psi)
+        self._inv_psi_powers = self._powers(mod_inverse(self.psi, q))
+        self._rev = _bit_reverse_table(n)
+        self._stage_twiddles = self._build_stage_twiddles(self.omega)
+        self._inv_stage_twiddles = self._build_stage_twiddles(
+            mod_inverse(self.omega, q)
+        )
+        self._n_inv = mod_inverse(n, q)
+
+    def _powers(self, base: int) -> List[int]:
+        powers = [1] * self.n
+        for i in range(1, self.n):
+            powers[i] = powers[i - 1] * base % self.q
+        return powers
+
+    def _build_stage_twiddles(self, omega: int) -> List[List[int]]:
+        """Twiddle tables per butterfly stage for the iterative CT loop."""
+        tables: List[List[int]] = []
+        length = 2
+        while length <= self.n:
+            wlen = mod_pow(omega, self.n // length, self.q)
+            half = length // 2
+            tw = [1] * half
+            for j in range(1, half):
+                tw[j] = tw[j - 1] * wlen % self.q
+            tables.append(tw)
+            length *= 2
+        return tables
+
+    def _transform(self, values: List[int], tables: List[List[int]]) -> None:
+        n, q, rev = self.n, self.q, self._rev
+        # Bit-reversal permutation (in place).
+        for i in range(n):
+            j = rev[i]
+            if i < j:
+                values[i], values[j] = values[j], values[i]
+        length = 2
+        stage = 0
+        while length <= n:
+            half = length // 2
+            tw = tables[stage]
+            for start in range(0, n, length):
+                for j in range(half):
+                    lo = start + j
+                    hi = lo + half
+                    v = values[hi] * tw[j] % q
+                    u = values[lo]
+                    values[lo] = (u + v) % q
+                    values[hi] = (u - v) % q
+            length *= 2
+            stage += 1
+
+    def forward(self, coeffs: Sequence[int]) -> List[int]:
+        """Map coefficient representation to evaluation representation."""
+        if len(coeffs) != self.n:
+            raise ValueError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        q = self.q
+        values = [c % q * p % q for c, p in zip(coeffs, self._psi_powers)]
+        self._transform(values, self._stage_twiddles)
+        return values
+
+    def inverse(self, evals: Sequence[int]) -> List[int]:
+        """Map evaluation representation back to coefficient representation."""
+        if len(evals) != self.n:
+            raise ValueError(f"expected {self.n} evaluations, got {len(evals)}")
+        q = self.q
+        values = [v % q for v in evals]
+        self._transform(values, self._inv_stage_twiddles)
+        n_inv = self._n_inv
+        return [
+            v * n_inv % q * ip % q
+            for v, ip in zip(values, self._inv_psi_powers)
+        ]
+
+    def negacyclic_multiply(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Multiply two coefficient-form polynomials in ``Z_q[x]/(x^N+1)``."""
+        ea = self.forward(a)
+        eb = self.forward(b)
+        q = self.q
+        return self.inverse([x * y % q for x, y in zip(ea, eb)])

@@ -1,0 +1,174 @@
+"""Primality testing and NTT-friendly prime generation.
+
+The RNS-CKKS scheme needs limb moduli ``q`` that are prime and satisfy
+``q = 1 (mod 2N)`` so that the ring ``Z_q[x]/(x^N + 1)`` supports a negacyclic
+number-theoretic transform (a primitive ``2N``-th root of unity must exist in
+``Z_q``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.numth.modular import mod_pow
+
+# Deterministic Miller-Rabin witness set, valid for all n < 3.3 * 10^24
+# (covers every modulus size this library ever generates: <= 62 bits).
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for ``n < 3.3e24``."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MILLER_RABIN_WITNESSES:
+        x = mod_pow(witness, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _pollard_rho(n: int) -> int:
+    """Return a non-trivial factor of composite ``n`` (Brent's variant)."""
+    if n % 2 == 0:
+        return 2
+    for c in range(1, 100):
+        x = y = 2
+        d = 1
+        while d == 1:
+            x = (x * x + c) % n
+            y = (y * y + c) % n
+            y = (y * y + c) % n
+            d = math.gcd(abs(x - y), n)
+        if d != n:
+            return d
+    raise ArithmeticError(f"pollard-rho failed to factor {n}")
+
+
+def factorize(n: int) -> Dict[int, int]:
+    """Return the prime factorisation of ``n`` as ``{prime: multiplicity}``."""
+    if n <= 0:
+        raise ValueError(f"can only factor positive integers, got {n}")
+    factors: Dict[int, int] = {}
+
+    def _record(p: int) -> None:
+        factors[p] = factors.get(p, 0) + 1
+
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            _record(m)
+            continue
+        for p in _SMALL_PRIMES:
+            if m % p == 0:
+                _record(p)
+                stack.append(m // p)
+                break
+        else:
+            d = _pollard_rho(m)
+            stack.append(d)
+            stack.append(m // d)
+    return factors
+
+
+def primitive_root(q: int) -> int:
+    """Return a generator of the multiplicative group of the prime field ``Z_q``."""
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime")
+    if q == 2:
+        return 1
+    group_order = q - 1
+    prime_factors = list(factorize(group_order))
+    for candidate in range(2, q):
+        if all(
+            mod_pow(candidate, group_order // p, q) != 1 for p in prime_factors
+        ):
+            return candidate
+    raise ArithmeticError(f"no primitive root found for prime {q}")
+
+
+def root_of_unity(order: int, q: int) -> int:
+    """Return a primitive ``order``-th root of unity in ``Z_q``.
+
+    Requires ``order`` to divide ``q - 1``.
+    """
+    if (q - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {q}-1; no such root exists")
+    generator = primitive_root(q)
+    root = mod_pow(generator, (q - 1) // order, q)
+    # Sanity check primitivity: root^(order/p) != 1 for each prime p | order.
+    for p in factorize(order):
+        if mod_pow(root, order // p, q) == 1:
+            raise ArithmeticError(
+                f"derived root {root} is not a primitive {order}-th root mod {q}"
+            )
+    return root
+
+
+def find_ntt_primes(
+    bit_size: int,
+    ring_degree: int,
+    count: int,
+    exclude: Sequence[int] = (),
+) -> List[int]:
+    """Find ``count`` distinct primes of ``bit_size`` bits congruent to 1 mod 2N.
+
+    Primes are returned in descending order starting just below
+    ``2**bit_size``, matching the usual RNS-CKKS convention of picking limb
+    moduli as close to the scaling factor as possible.
+
+    Args:
+        bit_size: target size of each prime in bits (the primes satisfy
+            ``2**(bit_size-1) < p < 2**bit_size``).
+        ring_degree: the polynomial degree ``N``; primes satisfy
+            ``p = 1 (mod 2N)``.
+        count: how many primes to return.
+        exclude: primes to skip (e.g. moduli already allocated to another
+            basis).
+    """
+    if bit_size < 4:
+        raise ValueError(f"bit_size too small to be useful: {bit_size}")
+    if ring_degree < 2 or ring_degree & (ring_degree - 1):
+        raise ValueError(f"ring_degree must be a power of two, got {ring_degree}")
+    step = 2 * ring_degree
+    excluded = set(exclude)
+    primes: List[int] = []
+    # Largest candidate of the form k*2N + 1 strictly below 2**bit_size.
+    candidate = (2**bit_size - 2) // step * step + 1
+    floor = 2 ** (bit_size - 1)
+    while len(primes) < count and candidate > floor:
+        if candidate not in excluded and is_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    if len(primes) < count:
+        raise ValueError(
+            f"only found {len(primes)} NTT primes of {bit_size} bits for "
+            f"N={ring_degree}; requested {count}"
+        )
+    return primes

@@ -1,0 +1,232 @@
+"""CKKS scheme parameters and the quantities derived from them.
+
+Follows the notation of Table 1 of the MAD paper:
+
+* ``N``     — ring degree (``2**log_n``); a ciphertext polynomial has ``N``
+  coefficients.
+* ``n``     — ``N/2`` plaintext slots.
+* ``q``     — machine-word-sized limb modulus (``log_q`` bits).
+* ``L``     — maximum number of limbs in a ciphertext.  Table 5 of the paper
+  defines this as the limb count right after the initial ModRaise in
+  bootstrapping.
+* ``dnum``  — number of digits in the switching key.
+* ``alpha`` — ``ceil((L+1)/dnum)`` limbs per key-switching digit; also the
+  number of special (``P``) limbs appended by ModUp.
+* ``beta``  — ``ceil((l+1)/alpha)`` digits for an ``l``-limb polynomial.
+* ``fftIter`` — number of PtMatVecMult iterations in each of the CoeffToSlot
+  and SlotToCoeff phases of bootstrapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.params.security import satisfies_128_bit_security
+
+#: Bytes per machine word; limb coefficients occupy one word each.
+WORD_BYTES = 8
+
+#: Number of ciphertext limbs consumed by the EvalMod (approximate modular
+#: reduction) phase of bootstrapping.  Nine levels reconciles both parameter
+#: sets in Table 5 with the post-bootstrap moduli reported in Table 6:
+#: baseline 35 - 2*3 - 9 = 20 limbs (log Q1 = 1080) and MAD-optimal
+#: 40 - 2*6 - 9 = 19 limbs (log Q1 = 950).
+DEFAULT_EVAL_MOD_DEPTH = 9
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """An immutable CKKS parameter set.
+
+    Args:
+        log_n: log2 of the ring degree ``N``.
+        log_q: bit-size of each ciphertext limb modulus.
+        max_limbs: ``L``, the maximum number of limbs in a ciphertext.
+        dnum: number of digits in the key-switching decomposition.
+        fft_iter: PtMatVecMult iterations per homomorphic DFT phase.
+        log_special: bit-size of the special (``P``) limb moduli; defaults to
+            ``log_q``.
+        eval_mod_depth: limbs consumed by the EvalMod bootstrap phase.
+        bit_precision: plaintext bit precision delivered by bootstrapping,
+            used by the Han-Ki throughput metric (Eq. 3 of the paper).
+    """
+
+    log_n: int
+    log_q: int
+    max_limbs: int
+    dnum: int
+    fft_iter: int = 3
+    log_special: Optional[int] = None
+    eval_mod_depth: int = DEFAULT_EVAL_MOD_DEPTH
+    bit_precision: int = 19
+    #: Bytes per machine word.  Most designs use 64-bit words; CraterLake's
+    #: 28-bit limbs pack into 32-bit words, halving every limb's footprint.
+    word_bytes: int = WORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.word_bytes not in (4, 8):
+            raise ValueError(
+                f"word_bytes must be 4 or 8, got {self.word_bytes}"
+            )
+        if self.log_q > 8 * self.word_bytes - 2:
+            raise ValueError(
+                f"log_q={self.log_q} does not fit a {self.word_bytes}-byte word"
+            )
+        if self.log_n < 2:
+            raise ValueError(f"log_n must be >= 2, got {self.log_n}")
+        if not 4 <= self.log_q <= 62:
+            raise ValueError(
+                f"log_q must fit a machine word (4..62 bits), got {self.log_q}"
+            )
+        if self.max_limbs < 1:
+            raise ValueError(f"max_limbs must be >= 1, got {self.max_limbs}")
+        if not 1 <= self.dnum <= self.max_limbs + 1:
+            raise ValueError(
+                f"dnum must be in [1, L+1] = [1, {self.max_limbs + 1}], "
+                f"got {self.dnum}"
+            )
+        if self.fft_iter < 1:
+            raise ValueError(f"fft_iter must be >= 1, got {self.fft_iter}")
+        if self.eval_mod_depth < 0:
+            raise ValueError(
+                f"eval_mod_depth must be >= 0, got {self.eval_mod_depth}"
+            )
+        if self.log_special is not None and not 4 <= self.log_special <= 62:
+            raise ValueError(
+                f"log_special must fit a machine word, got {self.log_special}"
+            )
+
+    # ------------------------------------------------------------------
+    # Ring geometry
+    # ------------------------------------------------------------------
+    @property
+    def ring_degree(self) -> int:
+        """``N``, the number of coefficients per polynomial."""
+        return 1 << self.log_n
+
+    @property
+    def slots(self) -> int:
+        """``n = N/2``, the number of plaintext elements per ciphertext."""
+        return 1 << (self.log_n - 1)
+
+    @property
+    def limb_bytes(self) -> int:
+        """Bytes occupied by one limb of one ring element."""
+        return self.word_bytes * self.ring_degree
+
+    # ------------------------------------------------------------------
+    # Key-switching decomposition (Han-Ki hybrid)
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> int:
+        """Limbs per key-switching digit, ``ceil((L+1)/dnum)``."""
+        return math.ceil((self.max_limbs + 1) / self.dnum)
+
+    @property
+    def num_special_limbs(self) -> int:
+        """Limbs of the raised modulus ``P`` (one special prime per digit limb)."""
+        return self.alpha
+
+    def beta(self, limbs: int) -> int:
+        """Digits produced when decomposing a ``limbs``-limb polynomial."""
+        self._check_limbs(limbs)
+        return math.ceil((limbs + 1) / self.alpha)
+
+    def raised_limbs(self, limbs: int) -> int:
+        """Limb count in the raised basis ``PQ`` for a ``limbs``-limb input."""
+        self._check_limbs(limbs)
+        return limbs + self.num_special_limbs
+
+    # ------------------------------------------------------------------
+    # Modulus sizes and security
+    # ------------------------------------------------------------------
+    @property
+    def special_bits(self) -> int:
+        """Bit-size of each special limb modulus."""
+        return self.log_special if self.log_special is not None else self.log_q
+
+    @property
+    def log_p(self) -> int:
+        """Total bit-size of the raised-modulus factor ``P``."""
+        return self.num_special_limbs * self.special_bits
+
+    @property
+    def log_q_max(self) -> int:
+        """Total bit-size of the largest ciphertext modulus ``Q``."""
+        return self.max_limbs * self.log_q
+
+    @property
+    def log_qp(self) -> int:
+        """Total bit-size of ``PQ`` — the quantity the security bound caps."""
+        return self.log_q_max + self.log_p
+
+    def is_128_bit_secure(self) -> bool:
+        """Check this parameter set against the 128-bit Ring-LWE bound."""
+        return satisfies_128_bit_security(self.log_n, self.log_qp)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def ciphertext_bytes(self, limbs: Optional[int] = None) -> int:
+        """Size of a ciphertext (two ring elements) with ``limbs`` limbs."""
+        limbs = self.max_limbs if limbs is None else limbs
+        self._check_limbs(limbs)
+        return 2 * limbs * self.limb_bytes
+
+    def plaintext_bytes(self, limbs: Optional[int] = None) -> int:
+        """Size of an encoded plaintext (one ring element)."""
+        limbs = self.max_limbs if limbs is None else limbs
+        self._check_limbs(limbs)
+        return limbs * self.limb_bytes
+
+    def switching_key_bytes(self, compressed: bool = False) -> int:
+        """Size of one switching key: a ``2 x dnum`` matrix over ``R_PQ``.
+
+        With PRNG key compression (Section 3.2 of the paper) the first row is
+        regenerated on the fly from a short seed, halving the size.
+        """
+        raised = self.max_limbs + self.num_special_limbs
+        rows = 1 if compressed else 2
+        return rows * self.dnum * raised * self.limb_bytes
+
+    # ------------------------------------------------------------------
+    # Bootstrapping level budget
+    # ------------------------------------------------------------------
+    @property
+    def bootstrap_output_limbs(self) -> int:
+        """Limbs remaining after bootstrapping consumes its level budget."""
+        remaining = self.max_limbs - 2 * self.fft_iter - self.eval_mod_depth
+        if remaining < 1:
+            raise ValueError(
+                f"parameter set cannot bootstrap: L={self.max_limbs} leaves "
+                f"{remaining} limbs after 2*{self.fft_iter} DFT levels and "
+                f"{self.eval_mod_depth} EvalMod levels"
+            )
+        return remaining
+
+    @property
+    def log_q1(self) -> int:
+        """``log2`` of the ciphertext modulus right after bootstrapping."""
+        return self.bootstrap_output_limbs * self.log_q
+
+    def supports_bootstrapping(self) -> bool:
+        """True when the level budget leaves at least one usable limb."""
+        return self.max_limbs - 2 * self.fft_iter - self.eval_mod_depth >= 1
+
+    # ------------------------------------------------------------------
+    def _check_limbs(self, limbs: int) -> None:
+        if not 1 <= limbs <= self.max_limbs + self.num_special_limbs:
+            raise ValueError(
+                f"limb count {limbs} outside [1, "
+                f"{self.max_limbs + self.num_special_limbs}]"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this parameter set."""
+        return (
+            f"CKKS(N=2^{self.log_n}, log q={self.log_q}, L={self.max_limbs}, "
+            f"dnum={self.dnum}, alpha={self.alpha}, fftIter={self.fft_iter}, "
+            f"log PQ={self.log_qp})"
+        )

@@ -1,0 +1,43 @@
+"""Ring-LWE security constraints on CKKS parameter selection.
+
+The Homomorphic Encryption Standard (Albrecht et al., 2018) tabulates, for
+each ring degree ``N``, the largest total modulus ``log2(PQ)`` for which the
+underlying Ring-LWE instance retains 128-bit classical security.  The table
+below lists the standard values up to ``N = 2^15`` and the customary
+doubling extrapolation used by the FHE-accelerator literature (CraterLake,
+ARK, BTS and the MAD paper all use ``N = 2^16``/``2^17`` parameter sets
+justified this way).
+"""
+
+from __future__ import annotations
+
+# log2(N) -> max log2(PQ) bits at 128-bit classical security.
+SECURITY_128_MAX_LOG_QP = {
+    10: 27,
+    11: 54,
+    12: 109,
+    13: 218,
+    14: 438,
+    15: 881,
+    16: 1772,  # extrapolated (2x per degree doubling)
+    17: 3544,  # extrapolated
+}
+
+
+def max_log_qp_for_128_bit_security(log_n: int) -> int:
+    """Return the maximum total modulus size (bits) for 128-bit security.
+
+    Raises :class:`ValueError` for ring degrees outside the tabulated range.
+    """
+    try:
+        return SECURITY_128_MAX_LOG_QP[log_n]
+    except KeyError:
+        raise ValueError(
+            f"no 128-bit security bound tabulated for log_n={log_n}; "
+            f"known degrees: {sorted(SECURITY_128_MAX_LOG_QP)}"
+        ) from None
+
+
+def satisfies_128_bit_security(log_n: int, log_qp: int) -> bool:
+    """Check whether a total modulus of ``log_qp`` bits is 128-bit secure."""
+    return log_qp <= max_log_qp_for_128_bit_security(log_n)

@@ -1,0 +1,167 @@
+"""End-to-end CKKS bootstrapping cost model (Algorithm 4).
+
+Phases and their level budget:
+
+* **ModRaise** — basis extension from the exhausted modulus to ``L`` limbs.
+* **CoeffToSlot** — ``fftIter`` PtMatVecMult iterations, one level each;
+  each stage matrix of the radix-``r`` DFT factorisation has
+  ``r = n^(1/fftIter)`` non-zero diagonals.
+* **EvalMod** — polynomial approximation of modular reduction,
+  ``eval_mod_depth`` (default 9) levels of Mult/PtMult work.
+* **SlotToCoeff** — another ``fftIter`` PtMatVecMult iterations.
+
+The output level is ``L - 2*fftIter - eval_mod_depth``, matching the
+``log Q_1`` values of Table 6 for both parameter sets of Table 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.params import CkksParams
+from repro.perf.cache import CacheModel
+from repro.perf.events import CostReport
+from repro.perf.optimizations import MADConfig
+from repro.perf.primitives import PrimitiveCosts
+from repro.perf.matvec import pt_mat_vec_mult_cost
+
+
+@dataclass(frozen=True)
+class EvalModProfile:
+    """Operation counts per consumed level of the EvalMod phase.
+
+    The defaults model a degree-~63 scaled-sine Chebyshev evaluation with
+    double-angle refinement: a couple of ciphertext multiplications plus a
+    plaintext multiplication and additions per level, with extra
+    multiplications at the start to build the power basis.
+    """
+
+    mults_per_level: int = 4
+    pt_mults_per_level: int = 2
+    adds_per_level: int = 3
+    basis_setup_mults: int = 9
+
+
+@dataclass(frozen=True)
+class BootstrapBreakdown:
+    """Per-phase cost of one bootstrapping operation."""
+
+    mod_raise: CostReport
+    coeff_to_slot: CostReport
+    eval_mod: CostReport
+    slot_to_coeff: CostReport
+
+    @property
+    def total(self) -> CostReport:
+        return (
+            self.mod_raise
+            + self.coeff_to_slot
+            + self.eval_mod
+            + self.slot_to_coeff
+        )
+
+    def phases(self) -> Dict[str, CostReport]:
+        return {
+            "ModRaise": self.mod_raise,
+            "CoeffToSlot": self.coeff_to_slot,
+            "EvalMod": self.eval_mod,
+            "SlotToCoeff": self.slot_to_coeff,
+        }
+
+
+class BootstrapModel:
+    """SimFHE's bootstrapping cost model.
+
+    Args:
+        params: CKKS parameters (must support bootstrapping).
+        config: MAD optimization flags.
+        cache: optional on-chip memory bound; flags the cache cannot
+            support are disabled, mirroring SimFHE's auto-deployment.
+        eval_mod: operation profile of the EvalMod phase.
+    """
+
+    def __init__(
+        self,
+        params: CkksParams,
+        config: MADConfig = MADConfig.none(),
+        cache: Optional[CacheModel] = None,
+        eval_mod: EvalModProfile = EvalModProfile(),
+    ):
+        if not params.supports_bootstrapping():
+            raise ValueError(
+                f"{params.describe()} cannot bootstrap (level budget)"
+            )
+        self.params = params
+        self.costs = PrimitiveCosts(params, config, cache)
+        self.eval_mod_profile = eval_mod
+
+    # ------------------------------------------------------------------
+    @property
+    def dft_diagonals(self) -> int:
+        """Non-zero diagonals per DFT stage matrix: ``n^(1/fftIter)``."""
+        n = self.params.slots
+        return max(2, math.ceil(n ** (1.0 / self.params.fft_iter)))
+
+    # ------------------------------------------------------------------
+    def ledger(self) -> "CostLedger":
+        """Sub-operation-labeled cost ledger of one bootstrap."""
+        from repro.perf.ledger import CostLedger
+
+        params = self.params
+        level = params.max_limbs
+        ledger = CostLedger()
+
+        ledger.add("ModRaise", self.costs.mod_raise(2, level))
+
+        for i in range(params.fft_iter):
+            ledger.add(
+                "CoeffToSlot",
+                pt_mat_vec_mult_cost(self.costs, level, self.dft_diagonals),
+            )
+            level -= 1
+
+        profile = self.eval_mod_profile
+        for depth in range(params.eval_mod_depth):
+            mults = profile.mults_per_level + (
+                profile.basis_setup_mults if depth == 0 else 0
+            )
+            ledger.add("EvalMod:Mult", self.costs.mult(level).scaled(mults))
+            ledger.add(
+                "EvalMod:PtMult",
+                self.costs.pt_mult(level).scaled(profile.pt_mults_per_level),
+            )
+            ledger.add(
+                "EvalMod:Add",
+                self.costs.add(level).scaled(profile.adds_per_level),
+            )
+            level -= 1
+
+        for i in range(params.fft_iter):
+            ledger.add(
+                "SlotToCoeff",
+                pt_mat_vec_mult_cost(self.costs, level, self.dft_diagonals),
+            )
+            level -= 1
+
+        assert level == params.bootstrap_output_limbs
+        return ledger
+
+    def cost(self) -> BootstrapBreakdown:
+        """Full per-phase cost of one bootstrapping operation."""
+        merged = self.ledger().by_label()
+        eval_mod = (
+            merged.get("EvalMod:Mult", CostReport())
+            + merged.get("EvalMod:PtMult", CostReport())
+            + merged.get("EvalMod:Add", CostReport())
+        )
+        return BootstrapBreakdown(
+            mod_raise=merged["ModRaise"],
+            coeff_to_slot=merged["CoeffToSlot"],
+            eval_mod=eval_mod,
+            slot_to_coeff=merged["SlotToCoeff"],
+        )
+
+    def total_cost(self) -> CostReport:
+        return self.cost().total

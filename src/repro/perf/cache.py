@@ -1,0 +1,76 @@
+"""On-chip memory model.
+
+SimFHE does not simulate cache lines or hit/miss behaviour; it reasons about
+which *working sets* fit (Section 4.1 of the paper).  The thresholds mirror
+Section 3.1:
+
+* ``O(1)``-limb fusion needs one limb (~1 MB at N = 2^17) plus headroom.
+* ``O(beta)``-digit caching needs ``2*beta`` limbs (~6 MB for beta = 3).
+* ``O(alpha)``-limb caching needs ``2*alpha + 3`` limbs (~27 MB for
+  alpha = 12), and limb re-ordering rides on the same capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import CkksParams
+
+MB = 10**6
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """An on-chip memory of ``size_bytes`` bytes."""
+
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"cache size must be positive, got {self.size_bytes}")
+
+    @classmethod
+    def from_mb(cls, megabytes: float) -> "CacheModel":
+        return cls(int(megabytes * MB))
+
+    @property
+    def megabytes(self) -> float:
+        return self.size_bytes / MB
+
+    def capacity_limbs(self, params: CkksParams) -> int:
+        """Whole ciphertext limbs this memory can hold."""
+        return self.size_bytes // params.limb_bytes
+
+    # ------------------------------------------------------------------
+    # Optimization applicability (Section 3.1 thresholds)
+    # ------------------------------------------------------------------
+    def fits_o1(self, params: CkksParams) -> bool:
+        """Can fuse all limb-wise sub-operations on one resident limb.
+
+        The paper sizes this optimization at 1 MB — exactly one limb of an
+        N = 2^17 ring element.
+        """
+        return self.capacity_limbs(params) >= 1
+
+    def fits_beta(self, params: CkksParams) -> bool:
+        """Can keep one limb from each of the ``beta`` raised digits."""
+        return self.capacity_limbs(params) >= 2 * params.dnum
+
+    def fits_alpha(self, params: CkksParams) -> bool:
+        """Can keep a full ``alpha``-limb digit resident for basis change.
+
+        The paper quotes ``2*alpha + 3`` limbs (27 MB at alpha = 12) for
+        holding both polynomials' digits at once; processing the two
+        polynomials sequentially needs only ``alpha + 3`` limbs, which is
+        what makes the paper's 32 MB budget sufficient for the optimal
+        parameter set's alpha = 21.
+        """
+        return self.capacity_limbs(params) >= params.alpha + 3
+
+    def fits_limb_reorder(self, params: CkksParams) -> bool:
+        """Re-ordering needs the same capacity as O(alpha) caching."""
+        return self.fits_alpha(params)
+
+    def fits_whole_ciphertext(self, params: CkksParams, limbs: int) -> bool:
+        """Does a full ciphertext fit (the F1 small-parameter regime)?"""
+        return self.size_bytes >= params.ciphertext_bytes(limbs)

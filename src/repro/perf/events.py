@@ -1,0 +1,95 @@
+"""Cost-accounting primitives: operation counts and DRAM traffic streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Modular-arithmetic operation counts.
+
+    ``mults`` and ``adds`` count word-sized modular multiplications and
+    additions/subtractions.  Automorphisms move data without arithmetic and
+    therefore cost zero (matching the Automorph column of Table 4).
+    """
+
+    mults: int = 0
+    adds: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.mults + self.adds
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(self.mults + other.mults, self.adds + other.adds)
+
+    def scaled(self, factor: int) -> "OpCount":
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return OpCount(self.mults * factor, self.adds * factor)
+
+
+@dataclass(frozen=True)
+class MemTraffic:
+    """DRAM traffic in bytes, broken down by stream.
+
+    The split matters: the paper's Figures 2 and 3 track ciphertext limb
+    reads, ciphertext limb writes, and switching-key reads separately
+    (caching optimizations cannot touch key reads; key compression only
+    touches key reads).
+    """
+
+    ct_read: int = 0
+    ct_write: int = 0
+    key_read: int = 0
+    pt_read: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.ct_read + self.ct_write + self.key_read + self.pt_read
+
+    def __add__(self, other: "MemTraffic") -> "MemTraffic":
+        return MemTraffic(
+            self.ct_read + other.ct_read,
+            self.ct_write + other.ct_write,
+            self.key_read + other.key_read,
+            self.pt_read + other.pt_read,
+        )
+
+    def scaled(self, factor: int) -> "MemTraffic":
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return MemTraffic(
+            self.ct_read * factor,
+            self.ct_write * factor,
+            self.key_read * factor,
+            self.pt_read * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Combined compute + traffic cost of an operation or pipeline."""
+
+    ops: OpCount = field(default_factory=OpCount)
+    traffic: MemTraffic = field(default_factory=MemTraffic)
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        return CostReport(self.ops + other.ops, self.traffic + other.traffic)
+
+    def scaled(self, factor: int) -> "CostReport":
+        return CostReport(self.ops.scaled(factor), self.traffic.scaled(factor))
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Ops per byte of DRAM traffic — the roofline x-axis."""
+        if self.traffic.total == 0:
+            return float("inf") if self.ops.total else 0.0
+        return self.ops.total / self.traffic.total
+
+    def giga_ops(self) -> float:
+        return self.ops.total / 1e9
+
+    def gigabytes(self) -> float:
+        return self.traffic.total / 1e9

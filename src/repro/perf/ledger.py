@@ -1,0 +1,84 @@
+"""Labeled cost accounting: where do the ops and bytes actually go?
+
+A :class:`CostLedger` is an ordered collection of named
+:class:`~repro.perf.events.CostReport` components.  The bootstrap model
+can emit one at sub-operation granularity, which is how you answer
+questions like "what fraction of DRAM traffic is switching keys during
+CoeffToSlot?" without re-deriving the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.perf.events import CostReport
+
+
+class CostLedger:
+    """Ordered, labeled cost components that sum to a total."""
+
+    def __init__(self):
+        self._entries: List[Tuple[str, CostReport]] = []
+
+    def add(self, label: str, cost: CostReport) -> None:
+        if not label:
+            raise ValueError("component label must be non-empty")
+        self._entries.append((label, cost))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[str, CostReport]]:
+        return iter(self._entries)
+
+    @property
+    def total(self) -> CostReport:
+        total = CostReport()
+        for _, cost in self._entries:
+            total = total + cost
+        return total
+
+    def by_label(self) -> Dict[str, CostReport]:
+        """Components merged by label (labels may repeat across phases)."""
+        merged: Dict[str, CostReport] = {}
+        for label, cost in self._entries:
+            merged[label] = merged.get(label, CostReport()) + cost
+        return merged
+
+    def traffic_fraction(self, label: str) -> float:
+        """Fraction of total DRAM traffic attributed to ``label``."""
+        total = self.total.traffic.total
+        if total == 0:
+            return 0.0
+        component = self.by_label().get(label)
+        if component is None:
+            raise KeyError(f"no component labeled {label!r}")
+        return component.traffic.total / total
+
+    def ops_fraction(self, label: str) -> float:
+        """Fraction of total compute attributed to ``label``."""
+        total = self.total.ops.total
+        if total == 0:
+            return 0.0
+        component = self.by_label().get(label)
+        if component is None:
+            raise KeyError(f"no component labeled {label!r}")
+        return component.ops.total / total
+
+    def render(self) -> str:
+        lines = [
+            f"{'Component':24} {'Gops':>9} {'GB':>8} {'AI':>6}",
+            "-" * 50,
+        ]
+        for label, cost in self.by_label().items():
+            lines.append(
+                f"{label:24} {cost.giga_ops():9.2f} {cost.gigabytes():8.2f} "
+                f"{cost.arithmetic_intensity:6.2f}"
+            )
+        total = self.total
+        lines.append("-" * 50)
+        lines.append(
+            f"{'Total':24} {total.giga_ops():9.2f} {total.gigabytes():8.2f} "
+            f"{total.arithmetic_intensity:6.2f}"
+        )
+        return "\n".join(lines)

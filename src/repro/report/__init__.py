@@ -1,0 +1,43 @@
+"""Regeneration of the paper's tables and figures from the model."""
+
+from repro.report.tables import (
+    Table4Row,
+    Table6Row,
+    generate_table4,
+    generate_table5,
+    generate_table6,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.report.figures import (
+    Fig2Point,
+    Fig3Point,
+    Fig6Bar,
+    generate_fig1,
+    generate_fig2,
+    generate_fig3,
+    generate_fig6_lr,
+    generate_fig6_resnet,
+    render_series,
+)
+
+__all__ = [
+    "Table4Row",
+    "Table6Row",
+    "generate_table4",
+    "generate_table5",
+    "generate_table6",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "Fig2Point",
+    "Fig3Point",
+    "Fig6Bar",
+    "generate_fig1",
+    "generate_fig2",
+    "generate_fig3",
+    "generate_fig6_lr",
+    "generate_fig6_resnet",
+    "render_series",
+]

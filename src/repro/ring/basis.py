@@ -1,0 +1,129 @@
+"""RNS bases: ordered sets of NTT-friendly prime limb moduli."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.numth import NttContext, find_ntt_primes
+from repro.numth.modular import mod_inverse
+
+# NTT plans are expensive to build; share them process-wide per (n, q).
+_NTT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+
+def _ntt_for(degree: int, modulus: int) -> NttContext:
+    key = (degree, modulus)
+    ctx = _NTT_CACHE.get(key)
+    if ctx is None:
+        ctx = NttContext(degree, modulus)
+        _NTT_CACHE[key] = ctx
+    return ctx
+
+
+class RnsBasis:
+    """An ordered RNS basis ``{q_1, ..., q_l}`` for ring degree ``N``.
+
+    A basis is immutable; deriving related bases (dropping the last limb for
+    a rescale, extending by special primes for a ModUp) returns new objects.
+    """
+
+    def __init__(self, degree: int, moduli: Sequence[int]):
+        if degree < 2 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two, got {degree}")
+        if not moduli:
+            raise ValueError("a basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("basis moduli must be distinct")
+        for q in moduli:
+            if (q - 1) % (2 * degree) != 0:
+                raise ValueError(
+                    f"modulus {q} is not NTT-friendly for degree {degree}"
+                )
+        self.degree = degree
+        self.moduli: Tuple[int, ...] = tuple(moduli)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        degree: int,
+        limb_bits: int,
+        count: int,
+        exclude: Iterable[int] = (),
+    ) -> "RnsBasis":
+        """Generate a fresh basis of ``count`` primes of ``limb_bits`` bits."""
+        return cls(degree, find_ntt_primes(limb_bits, degree, count, list(exclude)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RnsBasis)
+            and self.degree == other.degree
+            and self.moduli == other.moduli
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.degree, self.moduli))
+
+    def __repr__(self) -> str:
+        bits = [q.bit_length() for q in self.moduli]
+        return f"RnsBasis(degree={self.degree}, limbs={len(self)}, bits={bits})"
+
+    # ------------------------------------------------------------------
+    @property
+    def modulus(self) -> int:
+        """The full modulus ``Q``: product of all limb moduli."""
+        product = 1
+        for q in self.moduli:
+            product *= q
+        return product
+
+    def ntt(self, index: int) -> NttContext:
+        """The NTT plan for limb ``index``."""
+        return _ntt_for(self.degree, self.moduli[index])
+
+    def ntt_for_modulus(self, modulus: int) -> NttContext:
+        """The NTT plan for an arbitrary compatible modulus."""
+        return _ntt_for(self.degree, modulus)
+
+    # ------------------------------------------------------------------
+    # Derived bases
+    # ------------------------------------------------------------------
+    def prefix(self, count: int) -> "RnsBasis":
+        """The sub-basis of the first ``count`` limbs."""
+        if not 1 <= count <= len(self):
+            raise ValueError(f"prefix length {count} outside [1, {len(self)}]")
+        return RnsBasis(self.degree, self.moduli[:count])
+
+    def drop_last(self, count: int = 1) -> "RnsBasis":
+        """Drop the last ``count`` limbs (the shape of a rescale)."""
+        if not 1 <= count < len(self):
+            raise ValueError(
+                f"cannot drop {count} of {len(self)} limbs (at least one must remain)"
+            )
+        return RnsBasis(self.degree, self.moduli[:-count])
+
+    def extended(self, extra: Sequence[int]) -> "RnsBasis":
+        """The basis ``B ∪ B'`` with ``extra`` appended (the shape of a ModUp)."""
+        return RnsBasis(self.degree, self.moduli + tuple(extra))
+
+    # ------------------------------------------------------------------
+    # Fast-basis-conversion precomputation (Eq. 1 of the paper)
+    # ------------------------------------------------------------------
+    def q_hat_inverses(self) -> List[int]:
+        """``(Q/q_i)^{-1} mod q_i`` for each limb — the ``Q~_i`` of Eq. 1."""
+        total = self.modulus
+        return [
+            mod_inverse(total // q % q, q) for q in self.moduli
+        ]
+
+    def q_stars_mod(self, target: int) -> List[int]:
+        """``(Q/q_i) mod target`` for each limb — the ``Q*_i`` of Eq. 1."""
+        total = self.modulus
+        return [total // q % target for q in self.moduli]

@@ -1,0 +1,247 @@
+"""RNS ring elements with limb-wise and slot-wise views.
+
+An :class:`RnsPolynomial` stores one element of ``R_Q = Z_Q[x]/(x^N + 1)`` as
+``l`` limbs (one residue vector per limb modulus), each either in coefficient
+or evaluation ("NTT") representation.  This mirrors exactly the data layout
+whose movement the performance model accounts for: a *limb-wise* access
+touches one whole row, a *slot-wise* access (basis conversion) touches one
+column across all rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Sequence
+
+from repro.numth.crt import crt_reconstruct
+from repro.numth.modular import centered_mod
+from repro.ring.basis import RnsBasis
+
+
+class Representation(enum.Enum):
+    """Which domain the limb vectors live in."""
+
+    COEFF = "coeff"
+    EVAL = "eval"
+
+
+def _galois_exponent_table(degree: int) -> List[int]:
+    """Exponent ``e_k`` such that forward-NTT output slot ``k`` is ``f(psi^e_k)``.
+
+    Our iterative Cooley-Tukey transform (bit-reversal first, natural-order
+    output) computes ``X[k] = sum_j a_j psi^j omega^{jk} = f(psi^{2k+1})``,
+    so slot ``k`` evaluates the polynomial at ``psi^{2k+1}``.
+    """
+    return [(2 * k + 1) % (2 * degree) for k in range(degree)]
+
+
+class RnsPolynomial:
+    """One ring element in RNS form.
+
+    Attributes:
+        basis: the :class:`RnsBasis` the limbs live over.
+        limbs: ``len(basis)`` rows of ``basis.degree`` residues each.
+        representation: whether rows hold coefficients or NTT evaluations.
+    """
+
+    __slots__ = ("basis", "limbs", "representation")
+
+    def __init__(
+        self,
+        basis: RnsBasis,
+        limbs: Sequence[Sequence[int]],
+        representation: Representation,
+    ):
+        if len(limbs) != len(basis):
+            raise ValueError(
+                f"expected {len(basis)} limbs, got {len(limbs)}"
+            )
+        for row, q in zip(limbs, basis):
+            if len(row) != basis.degree:
+                raise ValueError(
+                    f"limb length {len(row)} does not match degree {basis.degree}"
+                )
+        self.basis = basis
+        self.limbs: List[List[int]] = [
+            [c % q for c in row] for row, q in zip(limbs, basis)
+        ]
+        self.representation = representation
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(
+        cls, basis: RnsBasis, representation: Representation = Representation.EVAL
+    ) -> "RnsPolynomial":
+        rows = [[0] * basis.degree for _ in basis]
+        return cls(basis, rows, representation)
+
+    @classmethod
+    def from_int_coeffs(
+        cls, coeffs: Sequence[int], basis: RnsBasis
+    ) -> "RnsPolynomial":
+        """Build from integer coefficients (possibly negative), coeff form."""
+        if len(coeffs) != basis.degree:
+            raise ValueError(
+                f"expected {basis.degree} coefficients, got {len(coeffs)}"
+            )
+        rows = [[c % q for c in coeffs] for q in basis]
+        return cls(basis, rows, Representation.COEFF)
+
+    def clone(self) -> "RnsPolynomial":
+        return RnsPolynomial(
+            self.basis, [row[:] for row in self.limbs], self.representation
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_limbs(self) -> int:
+        return len(self.limbs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RnsPolynomial)
+            and self.basis == other.basis
+            and self.representation == other.representation
+            and self.limbs == other.limbs
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsPolynomial(limbs={self.num_limbs}, degree={self.basis.degree}, "
+            f"form={self.representation.value})"
+        )
+
+    def to_int_coeffs(self, centered: bool = True) -> List[int]:
+        """CRT-reconstruct the integer coefficient vector (coeff form only)."""
+        poly = self.to_coeff()
+        moduli = list(poly.basis.moduli)
+        total = poly.basis.modulus
+        out = []
+        for j in range(poly.basis.degree):
+            value = crt_reconstruct([row[j] for row in poly.limbs], moduli)
+            out.append(centered_mod(value, total) if centered else value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Representation changes
+    # ------------------------------------------------------------------
+    def to_eval(self) -> "RnsPolynomial":
+        """Return this element in evaluation form (l limb-wise NTTs)."""
+        if self.representation is Representation.EVAL:
+            return self
+        rows = [
+            self.basis.ntt(i).forward(row) for i, row in enumerate(self.limbs)
+        ]
+        return RnsPolynomial(self.basis, rows, Representation.EVAL)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        """Return this element in coefficient form (l limb-wise iNTTs)."""
+        if self.representation is Representation.COEFF:
+            return self
+        rows = [
+            self.basis.ntt(i).inverse(row) for i, row in enumerate(self.limbs)
+        ]
+        return RnsPolynomial(self.basis, rows, Representation.COEFF)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (limb-wise)
+    # ------------------------------------------------------------------
+    def _zip_with(
+        self, other: "RnsPolynomial", op: Callable[[int, int, int], int]
+    ) -> "RnsPolynomial":
+        if self.basis != other.basis:
+            raise ValueError("operands live over different bases")
+        if self.representation is not other.representation:
+            raise ValueError(
+                f"representation mismatch: {self.representation} vs "
+                f"{other.representation}"
+            )
+        rows = [
+            [op(a, b, q) for a, b in zip(ra, rb)]
+            for ra, rb, q in zip(self.limbs, other.limbs, self.basis)
+        ]
+        return RnsPolynomial(self.basis, rows, self.representation)
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        return self._zip_with(other, lambda a, b, q: (a + b) % q)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        return self._zip_with(other, lambda a, b, q: (a - b) % q)
+
+    def __neg__(self) -> "RnsPolynomial":
+        rows = [[(-a) % q for a in row] for row, q in zip(self.limbs, self.basis)]
+        return RnsPolynomial(self.basis, rows, self.representation)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Ring multiplication; both operands must be in evaluation form."""
+        if self.representation is not Representation.EVAL:
+            raise ValueError("ring multiplication requires evaluation form")
+        return self._zip_with(other, lambda a, b, q: a * b % q)
+
+    def scalar_mul(self, scalar: int) -> "RnsPolynomial":
+        """Multiply by an integer scalar (valid in either representation)."""
+        rows = [
+            [a * (scalar % q) % q for a in row]
+            for row, q in zip(self.limbs, self.basis)
+        ]
+        return RnsPolynomial(self.basis, rows, self.representation)
+
+    def limb_scalar_mul(self, scalars: Sequence[int]) -> "RnsPolynomial":
+        """Multiply limb ``i`` by ``scalars[i]`` (per-limb constants)."""
+        if len(scalars) != self.num_limbs:
+            raise ValueError(
+                f"expected {self.num_limbs} scalars, got {len(scalars)}"
+            )
+        rows = [
+            [a * (s % q) % q for a in row]
+            for row, s, q in zip(self.limbs, scalars, self.basis)
+        ]
+        return RnsPolynomial(self.basis, rows, self.representation)
+
+    # ------------------------------------------------------------------
+    # Galois automorphisms
+    # ------------------------------------------------------------------
+    def automorph(self, t: int) -> "RnsPolynomial":
+        """Apply the Galois automorphism ``f(x) -> f(x^t)`` for odd ``t``.
+
+        In coefficient form this permutes coefficients with sign flips
+        (``x^j -> ± x^{jt mod N}``); in evaluation form it is a pure
+        permutation of the evaluation points — which is why the paper's
+        ``Automorph`` sub-operation costs zero modular operations.
+        """
+        two_n = 2 * self.basis.degree
+        t = t % two_n
+        if t % 2 == 0:
+            raise ValueError(f"automorphism index must be odd, got {t}")
+        if self.representation is Representation.COEFF:
+            return self._automorph_coeff(t)
+        return self._automorph_eval(t)
+
+    def _automorph_coeff(self, t: int) -> "RnsPolynomial":
+        n = self.basis.degree
+        two_n = 2 * n
+        rows = []
+        for row, q in zip(self.limbs, self.basis):
+            out = [0] * n
+            for j, a in enumerate(row):
+                e = j * t % two_n
+                if e < n:
+                    out[e] = (out[e] + a) % q
+                else:
+                    out[e - n] = (out[e - n] - a) % q
+            rows.append(out)
+        return RnsPolynomial(self.basis, rows, Representation.COEFF)
+
+    def _automorph_eval(self, t: int) -> "RnsPolynomial":
+        n = self.basis.degree
+        two_n = 2 * n
+        exps = _galois_exponent_table(n)
+        index_of_exp = {e: k for k, e in enumerate(exps)}
+        # Slot k of the output evaluates f at psi^{e_k * t}.
+        source = [index_of_exp[exps[k] * t % two_n] for k in range(n)]
+        rows = [[row[s] for s in source] for row in self.limbs]
+        return RnsPolynomial(self.basis, rows, Representation.EVAL)

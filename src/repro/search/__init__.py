@@ -1,0 +1,12 @@
+"""Memory-aware CKKS parameter search (Table 5)."""
+
+from repro.search.throughput import bootstrap_throughput
+from repro.search.space import enumerate_parameter_space
+from repro.search.optimizer import ParameterSearchResult, find_optimal_parameters
+
+__all__ = [
+    "bootstrap_throughput",
+    "enumerate_parameter_space",
+    "ParameterSearchResult",
+    "find_optimal_parameters",
+]

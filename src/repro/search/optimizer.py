@@ -1,0 +1,81 @@
+"""Brute-force throughput-maximising parameter search (Section 4.1).
+
+Given a hardware budget (multiplier count, bandwidth, on-chip memory),
+evaluate the bootstrapping cost model for every admissible parameter set
+and rank by the Han-Ki throughput metric.  This regenerates the
+"Ours" row of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.params import CkksParams
+from repro.perf import BootstrapModel, MADConfig
+from repro.perf.events import CostReport
+from repro.hardware.design import HardwareDesign
+from repro.hardware.runtime import RuntimeEstimate, estimate_runtime
+from repro.search.space import enumerate_parameter_space
+from repro.search.throughput import bootstrap_throughput
+
+
+@dataclass(frozen=True)
+class ParameterSearchResult:
+    """One evaluated parameter set."""
+
+    params: CkksParams
+    cost: CostReport
+    runtime: RuntimeEstimate
+    throughput: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.params.describe()}: {self.runtime.milliseconds:.2f} ms "
+            f"({self.runtime.bound}-bound), throughput {self.throughput:.0f}"
+        )
+
+
+def find_optimal_parameters(
+    design: HardwareDesign,
+    config: MADConfig = MADConfig.all(),
+    candidates: Optional[Iterable[CkksParams]] = None,
+    enforce_cache: bool = False,
+    top: int = 10,
+) -> List[ParameterSearchResult]:
+    """Rank parameter sets by bootstrapping throughput on ``design``.
+
+    Args:
+        design: the hardware budget (multipliers, bandwidth, on-chip MB).
+        config: MAD optimizations to assume.
+        candidates: parameter sets to evaluate; defaults to the full
+            admissible space for the design's ring degree.
+        enforce_cache: gate caching optimizations on the design's actual
+            on-chip capacity (the paper assumes 32 MB suffices for its
+            optimal set; pass True for strictly-capacity-checked results).
+        top: how many results to return, best first.
+    """
+    if candidates is None:
+        candidates = enumerate_parameter_space(log_n=design.params.log_n)
+    cache = design.cache if enforce_cache else None
+    results = []
+    for params in candidates:
+        model = BootstrapModel(params, config, cache)
+        cost = model.total_cost()
+        runtime = estimate_runtime(cost, design)
+        throughput = bootstrap_throughput(
+            params.slots,
+            params.log_q1,
+            params.bit_precision,
+            runtime.seconds,
+        )
+        results.append(
+            ParameterSearchResult(
+                params=params,
+                cost=cost,
+                runtime=runtime,
+                throughput=throughput,
+            )
+        )
+    results.sort(key=lambda r: r.throughput, reverse=True)
+    return results[:top]

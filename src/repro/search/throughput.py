@@ -1,0 +1,35 @@
+"""The Han-Ki bootstrapping throughput metric (Eq. 3 of the paper).
+
+    throughput = n * log2(Q_1) * bit_precision / bootstrap_runtime
+
+``n`` counts the plaintext slots refreshed, ``log2(Q_1)`` measures the
+compute levels the refreshed ciphertext supports, and ``bit_precision`` the
+plaintext accuracy.  The product is "useful work" per bootstrap; dividing
+by runtime yields a figure of merit that is comparable across designs that
+bootstrap different slot counts.
+"""
+
+from __future__ import annotations
+
+#: The paper reports throughput in units of 1e7 bit-levels/second (the GPU
+#: row works out to 409 in these units).
+PAPER_THROUGHPUT_UNIT = 1e7
+
+
+def bootstrap_throughput(
+    slots: int,
+    log_q1: int,
+    bit_precision: int,
+    runtime_seconds: float,
+    unit: float = PAPER_THROUGHPUT_UNIT,
+) -> float:
+    """Bootstrapping throughput in the paper's reporting unit."""
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    if log_q1 <= 0:
+        raise ValueError(f"log_q1 must be positive, got {log_q1}")
+    if bit_precision <= 0:
+        raise ValueError(f"bit_precision must be positive, got {bit_precision}")
+    if runtime_seconds <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime_seconds}")
+    return slots * log_q1 * bit_precision / runtime_seconds / unit

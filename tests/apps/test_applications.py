@@ -1,0 +1,67 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import MADConfig
+from repro.apps import helr_training, resnet20_inference, workload_cost
+from repro.apps.helr import iterations_per_bootstrap
+
+
+class TestHelr:
+    def test_bootstrap_every_three_iterations_at_mad_params(self):
+        """The paper: 'with our optimal parameter set, we need to perform
+        bootstrapping after every three training iterations.'"""
+        assert iterations_per_bootstrap(MAD_OPTIMAL) == 3
+
+    def test_bootstrap_cadence_scales_with_level_budget(self):
+        assert iterations_per_bootstrap(BASELINE_JUNG) >= 3
+
+    def test_workload_counts_scale_with_iterations(self):
+        short = helr_training(MAD_OPTIMAL, iterations=3)
+        long = helr_training(MAD_OPTIMAL, iterations=30)
+        assert long.mults == 10 * short.mults
+        assert long.bootstraps == 10 * short.bootstraps
+
+    def test_thirty_iterations_need_ten_bootstraps(self):
+        wl = helr_training(MAD_OPTIMAL, iterations=30)
+        assert wl.bootstraps == 10
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            helr_training(MAD_OPTIMAL, iterations=0)
+
+    def test_rotations_grow_with_dimensions(self):
+        small = helr_training(MAD_OPTIMAL, iterations=1, features=64, batch=256)
+        large = helr_training(MAD_OPTIMAL, iterations=1, features=1024, batch=4096)
+        assert large.rotates > small.rotates
+
+    def test_training_is_bootstrap_dominated(self):
+        wl = helr_training(MAD_OPTIMAL, iterations=30)
+        cost = workload_cost(wl, MAD_OPTIMAL, MADConfig.all())
+        assert cost.bootstrap_fraction > 0.5
+
+
+class TestResNet20:
+    def test_structure_constants(self):
+        wl = resnet20_inference(MAD_OPTIMAL)
+        assert wl.bootstraps == 38  # 19 ReLUs x 2 packs
+        assert wl.mults == 190  # 19 ReLUs x 10 mults
+
+    def test_inference_is_bootstrap_dominated(self):
+        """ResNet-20 speedups in Fig. 6 track bootstrap speedups because
+        bootstrapping dominates end-to-end inference."""
+        wl = resnet20_inference(MAD_OPTIMAL)
+        cost = workload_cost(wl, MAD_OPTIMAL, MADConfig.all())
+        assert cost.bootstrap_fraction > 0.6
+
+    def test_heavier_than_lr_training(self):
+        lr = workload_cost(helr_training(MAD_OPTIMAL, 30), MAD_OPTIMAL)
+        resnet = workload_cost(resnet20_inference(MAD_OPTIMAL), MAD_OPTIMAL)
+        assert resnet.total.traffic.total > lr.total.traffic.total
+
+    def test_mad_improves_inference(self):
+        wl = resnet20_inference(MAD_OPTIMAL)
+        base = workload_cost(wl, BASELINE_JUNG, MADConfig.none())
+        optimized = workload_cost(wl, MAD_OPTIMAL, MADConfig.all())
+        assert (
+            optimized.total.traffic.total < 0.5 * base.total.traffic.total
+        )

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import MADConfig
+from repro.apps import ApplicationWorkload, workload_cost
+
+
+class TestWorkloadValidation:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload(name="bad", mults=-1)
+
+    def test_rejects_bad_level_fraction(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload(name="bad", level_fraction=0.0)
+        with pytest.raises(ValueError):
+            ApplicationWorkload(name="bad", level_fraction=1.5)
+
+
+class TestWorkloadCost:
+    @pytest.fixture(scope="class")
+    def simple(self):
+        return ApplicationWorkload(
+            name="simple", mults=10, rotates=20, adds=30, bootstraps=2
+        )
+
+    def test_cost_splits_compute_and_bootstrap(self, simple):
+        cost = workload_cost(simple, BASELINE_JUNG)
+        assert cost.compute.ops.total > 0
+        assert cost.bootstrap.ops.total > 0
+        assert cost.total.ops.total == (
+            cost.compute.ops.total + cost.bootstrap.ops.total
+        )
+
+    def test_no_bootstraps_means_no_bootstrap_cost(self):
+        wl = ApplicationWorkload(name="flat", mults=5)
+        cost = workload_cost(wl, BASELINE_JUNG)
+        assert cost.bootstrap.ops.total == 0
+        assert cost.bootstrap_fraction == 0.0
+
+    def test_bootstrap_dominates_with_few_ops(self):
+        """The paper: bootstrapping consumes ~80% of ML application time."""
+        wl = ApplicationWorkload(
+            name="ml-ish", mults=20, rotates=40, adds=60, bootstraps=10
+        )
+        cost = workload_cost(wl, BASELINE_JUNG)
+        assert cost.bootstrap_fraction > 0.5
+
+    def test_mad_config_reduces_total_traffic(self, simple):
+        base = workload_cost(simple, BASELINE_JUNG, MADConfig.none())
+        optimized = workload_cost(simple, MAD_OPTIMAL, MADConfig.all())
+        assert optimized.total.traffic.total < base.total.traffic.total
+
+    def test_scales_with_counts(self):
+        small = ApplicationWorkload(name="s", mults=5, bootstraps=1)
+        large = ApplicationWorkload(name="l", mults=50, bootstraps=1)
+        c_small = workload_cost(small, BASELINE_JUNG)
+        c_large = workload_cost(large, BASELINE_JUNG)
+        assert c_large.compute.ops.total > c_small.compute.ops.total
+        assert c_large.bootstrap.ops.total == c_small.bootstrap.ops.total

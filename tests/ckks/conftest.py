@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+
+from repro.params.presets import toy_params
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return CkksContext(toy_params(log_n=4, log_q=30, max_limbs=6, dnum=3), seed=11)
+
+
+@pytest.fixture(scope="session")
+def keygen(ctx):
+    return KeyGenerator(ctx)
+
+
+@pytest.fixture(scope="session")
+def encryptor(ctx, keygen):
+    return Encryptor(ctx, secret_key=keygen.secret_key)
+
+
+@pytest.fixture(scope="session")
+def decryptor(ctx, keygen):
+    return Decryptor(ctx, keygen.secret_key)
+
+
+@pytest.fixture(scope="session")
+def evaluator(ctx, keygen):
+    return Evaluator(
+        ctx,
+        relin_key=keygen.relinearization_key(),
+        rotation_keys={s: keygen.rotation_key(s) for s in range(1, 8)},
+        conjugation_key=keygen.conjugation_key(),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

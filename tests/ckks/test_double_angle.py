@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.params import toy_params
+from repro.ckks import (
+    Bootstrapper,
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+from repro.ckks.bootstrap import reduced_cos_poly
+from repro.ckks.polyeval import chebyshev_value
+
+
+class TestReducedCosPoly:
+    def test_doubling_recovers_sine(self):
+        """cos((2 pi u - pi/2)/2^r) squared up r times equals sin(2 pi u)."""
+        coeffs, interval = reduced_cos_poly(4, 31, 2)
+        u = np.linspace(*interval, 501)
+        g = chebyshev_value(coeffs, u, interval)
+        for _ in range(2):
+            g = 2 * g * g - 1
+        assert np.max(np.abs(g - np.sin(2 * np.pi * u))) < 1e-10
+
+    def test_angle_reduction_lowers_required_degree(self):
+        """The reduced argument needs far fewer Chebyshev terms."""
+        u = np.linspace(-4.5, 4.5, 501)
+        # Direct sine at degree 31 over [-4.5, 4.5] is a poor fit...
+        from repro.ckks.polyeval import chebyshev_fit
+
+        direct = chebyshev_fit(
+            lambda x: np.sin(2 * np.pi * x), 31, (-4.5, 4.5)
+        )
+        direct_err = np.max(
+            np.abs(chebyshev_value(direct, u, (-4.5, 4.5)) - np.sin(2 * np.pi * u))
+        )
+        # ...while the r=2 reduced cosine at the same degree is excellent.
+        coeffs, interval = reduced_cos_poly(4, 31, 2)
+        g = chebyshev_value(coeffs, u, interval)
+        for _ in range(2):
+            g = 2 * g * g - 1
+        reduced_err = np.max(np.abs(g - np.sin(2 * np.pi * u)))
+        assert reduced_err < direct_err / 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduced_cos_poly(0, 31, 1)
+        with pytest.raises(ValueError):
+            reduced_cos_poly(4, 31, 0)
+
+
+class TestDoubleAngleBootstrap:
+    @pytest.fixture(scope="class")
+    def env(self):
+        params = toy_params(log_n=4, log_q=29, max_limbs=16, dnum=4)
+        ctx = CkksContext(params, scale_bits=29, seed=5)
+        kg = KeyGenerator(ctx, hamming_weight=4)
+        return {
+            "ctx": ctx,
+            "kg": kg,
+            "enc": Encryptor(ctx, secret_key=kg.secret_key),
+            "dec": Decryptor(ctx, kg.secret_key),
+        }
+
+    def test_refreshes_message(self, env):
+        bs = Bootstrapper(
+            env["ctx"], env["kg"], mod_degree=47, double_angle_iters=1
+        )
+        z = np.array([0.3, -0.25, 0.1, 0.05, -0.15, 0.2, 0.0, -0.3])
+        ct = env["enc"].encrypt_values(z, scale=2.0**23, limbs=1)
+        out = bs.bootstrap(ct)
+        assert out.num_limbs > 1
+        # Double-angle trades precision for Chebyshev degree; at toy
+        # precision the squarings amplify noise ~4x per iteration.
+        assert np.max(np.abs(env["dec"].decrypt_values(out) - z)) < 0.1
+
+    def test_uses_lower_degree_than_direct(self, env):
+        direct = Bootstrapper(env["ctx"], env["kg"], mod_degree=63)
+        reduced = Bootstrapper(
+            env["ctx"], env["kg"], mod_degree=31, double_angle_iters=2
+        )
+        assert reduced.mod_degree < direct.mod_degree
+        assert reduced.double_angle_iters == 2
+
+    def test_direct_path_more_precise_at_toy_scale(self, env):
+        z = np.array([0.2, -0.1, 0.15, 0.0, -0.2, 0.1, 0.05, -0.05])
+        ct = env["enc"].encrypt_values(z, scale=2.0**23, limbs=1)
+        direct = Bootstrapper(env["ctx"], env["kg"], mod_degree=63)
+        reduced = Bootstrapper(
+            env["ctx"], env["kg"], mod_degree=47, double_angle_iters=1
+        )
+        err_direct = np.max(
+            np.abs(env["dec"].decrypt_values(direct.bootstrap(ct)) - z)
+        )
+        err_reduced = np.max(
+            np.abs(env["dec"].decrypt_values(reduced.bootstrap(ct)) - z)
+        )
+        assert err_direct < err_reduced  # noise amplification of squaring
+        assert err_reduced < 0.1

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import Encoder
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return Encoder(degree=16, default_scale=2.0**30)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Encoder(degree=12, default_scale=2.0**20)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            Encoder(degree=16, default_scale=0)
+
+    def test_slot_count(self, encoder):
+        assert encoder.slots == 8
+
+
+class TestEmbedProject:
+    def test_project_inverts_embed(self, encoder, rng):
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        recovered = encoder.project(encoder.embed(z))
+        assert np.allclose(recovered, z)
+
+    def test_embed_inverts_project_for_real_coeffs(self, encoder, rng):
+        c = rng.normal(size=16)
+        assert np.allclose(encoder.embed(encoder.project(c)), c)
+
+    def test_embed_is_real(self, encoder, rng):
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        assert encoder.embed(z).dtype == np.float64
+
+    def test_embed_linear(self, encoder, rng):
+        z1 = rng.normal(size=8) + 1j * rng.normal(size=8)
+        z2 = rng.normal(size=8) + 1j * rng.normal(size=8)
+        assert np.allclose(
+            encoder.embed(z1 + z2), encoder.embed(z1) + encoder.embed(z2)
+        )
+
+    def test_wrong_lengths_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.embed(np.zeros(4))
+        with pytest.raises(ValueError):
+            encoder.project(np.zeros(8))
+
+
+class TestEncodeDecode:
+    def test_round_trip(self, encoder, rng):
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        decoded = encoder.decode(encoder.encode(z))
+        assert np.max(np.abs(decoded - z)) < 1e-6
+
+    def test_round_trip_custom_scale(self, encoder, rng):
+        z = rng.normal(size=8)
+        decoded = encoder.decode(encoder.encode(z, 2.0**20), 2.0**20)
+        assert np.max(np.abs(decoded - z)) < 1e-4
+
+    def test_coefficients_are_integers(self, encoder):
+        coeffs = encoder.encode([0.5] * 8)
+        assert all(isinstance(c, int) for c in coeffs)
+
+    def test_constant_vector_encodes_to_constant_poly(self, encoder):
+        coeffs = encoder.encode([1.0] * 8)
+        # A constant slot vector is the constant polynomial Delta * 1.
+        assert coeffs[0] == pytest.approx(2**30, rel=1e-9)
+        assert all(abs(c) <= 1 for c in coeffs[1:])
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.complex_numbers(max_magnitude=10, allow_nan=False, allow_infinity=False),
+            min_size=8,
+            max_size=8,
+        )
+    )
+    def test_round_trip_property(self, values):
+        encoder = Encoder(degree=16, default_scale=2.0**30)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.max(np.abs(decoded - np.asarray(values))) < 1e-5
+
+
+class TestGaloisIndices:
+    def test_rotation_index_is_power_of_five(self, encoder):
+        assert encoder.rotation_automorphism(1) == 5
+        assert encoder.rotation_automorphism(2) == 25 % 32
+
+    def test_rotation_wraps_mod_slots(self, encoder):
+        assert encoder.rotation_automorphism(9) == encoder.rotation_automorphism(1)
+
+    def test_zero_rotation_is_identity(self, encoder):
+        assert encoder.rotation_automorphism(0) == 1
+
+    def test_conjugation_index(self, encoder):
+        assert encoder.conjugation_automorphism == 31

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.ckks import Decryptor, Encryptor
+
+
+class TestSymmetricEncryption:
+    def test_round_trip(self, encryptor, decryptor, rng):
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        ct = encryptor.encrypt_values(z)
+        assert np.max(np.abs(decryptor.decrypt_values(ct) - z)) < 1e-4
+
+    def test_encrypt_at_lower_level(self, encryptor, decryptor, rng):
+        z = rng.normal(size=8)
+        ct = encryptor.encrypt_values(z, limbs=2)
+        assert ct.num_limbs == 2
+        assert np.max(np.abs(decryptor.decrypt_values(ct) - z)) < 1e-4
+
+    def test_custom_scale(self, encryptor, decryptor, rng):
+        z = rng.normal(size=8)
+        ct = encryptor.encrypt_values(z, scale=2.0**20)
+        assert ct.scale == 2.0**20
+        assert np.max(np.abs(decryptor.decrypt_values(ct) - z)) < 1e-3
+
+    def test_fresh_ciphertexts_differ(self, encryptor):
+        z = [1.0] * 8
+        ct1 = encryptor.encrypt_values(z)
+        ct2 = encryptor.encrypt_values(z)
+        assert ct1.c1 != ct2.c1  # randomness present
+
+    def test_noise_is_small_but_nonzero(self, encryptor, decryptor):
+        z = np.zeros(8)
+        ct = encryptor.encrypt_values(z)
+        values = decryptor.decrypt_values(ct)
+        assert 0 < np.max(np.abs(values)) < 1e-4
+
+
+class TestPublicKeyEncryption:
+    def test_round_trip(self, ctx, keygen, decryptor, rng):
+        pk = keygen.public_key()
+        enc = Encryptor(ctx, public_key=pk)
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        ct = enc.encrypt_values(z)
+        assert np.max(np.abs(decryptor.decrypt_values(ct) - z)) < 1e-3
+
+    def test_round_trip_lower_level(self, ctx, keygen, decryptor, rng):
+        enc = Encryptor(ctx, public_key=keygen.public_key())
+        z = rng.normal(size=8)
+        ct = enc.encrypt_values(z, limbs=3)
+        assert ct.num_limbs == 3
+        assert np.max(np.abs(decryptor.decrypt_values(ct) - z)) < 1e-3
+
+    def test_requires_some_key(self, ctx):
+        with pytest.raises(ValueError):
+            Encryptor(ctx)
+
+
+class TestDecryptor:
+    def test_decrypt_returns_plaintext_with_scale(self, encryptor, decryptor):
+        ct = encryptor.encrypt_values([0.5] * 8)
+        pt = decryptor.decrypt(ct)
+        assert pt.scale == ct.scale
+        assert len(pt.coeffs) == 16
+
+    def test_wrong_key_garbles(self, ctx, encryptor):
+        from repro.ckks import KeyGenerator
+
+        other = KeyGenerator(ctx)
+        wrong = Decryptor(ctx, other.secret_key)
+        z = np.full(8, 0.5)
+        ct = encryptor.encrypt_values(z)
+        assert np.max(np.abs(wrong.decrypt_values(ct) - z)) > 1.0

@@ -1,0 +1,142 @@
+"""Property-based tests: random circuits evaluated homomorphically must
+agree with the same circuits on plaintext numpy vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.params import toy_params
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+_ENV = {}
+
+
+def _env():
+    """Module-lazy heavy fixture (hypothesis forbids function-scoped ones)."""
+    if not _ENV:
+        params = toy_params(log_n=4, log_q=30, max_limbs=8, dnum=3)
+        ctx = CkksContext(params, scale_bits=30, seed=23)
+        kg = KeyGenerator(ctx)
+        _ENV.update(
+            ctx=ctx,
+            enc=Encryptor(ctx, secret_key=kg.secret_key),
+            dec=Decryptor(ctx, kg.secret_key),
+            ev=Evaluator(
+                ctx,
+                relin_key=kg.relinearization_key(),
+                rotation_keys={s: kg.rotation_key(s) for s in range(1, 8)},
+                conjugation_key=kg.conjugation_key(),
+            ),
+        )
+    return _ENV
+
+
+_value = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+_vector = st.lists(_value, min_size=8, max_size=8).map(np.array)
+
+# One circuit step: (op name, operand).
+_step = st.one_of(
+    st.tuples(st.just("pt_add"), _vector),
+    st.tuples(st.just("pt_mult"), _vector),
+    st.tuples(st.just("rotate"), st.integers(1, 7)),
+    st.tuples(st.just("conjugate"), st.none()),
+    st.tuples(st.just("negate"), st.none()),
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(start=_vector, steps=st.lists(_step, min_size=1, max_size=4))
+def test_random_unary_circuits_match_plaintext(start, steps):
+    env = _env()
+    ct = env["enc"].encrypt_values(start)
+    reference = start.astype(complex)
+    mult_depth = sum(1 for op, _ in steps if op == "pt_mult")
+    if mult_depth > 5:
+        return
+    for op, arg in steps:
+        if op == "pt_add":
+            ct = env["ev"].pt_add(ct, list(arg))
+            reference = reference + arg
+        elif op == "pt_mult":
+            ct = env["ev"].pt_mult(ct, list(arg))
+            reference = reference * arg
+        elif op == "rotate":
+            ct = env["ev"].rotate(ct, arg)
+            reference = np.roll(reference, -arg)
+        elif op == "conjugate":
+            ct = env["ev"].conjugate(ct)
+            reference = np.conj(reference)
+        elif op == "negate":
+            ct = env["ev"].negate(ct)
+            reference = -reference
+    got = env["dec"].decrypt_values(ct)
+    assert np.max(np.abs(got - reference)) < 1e-2
+
+
+@settings(max_examples=20, deadline=None)
+@given(z1=_vector, z2=_vector)
+def test_mult_matches_plaintext(z1, z2):
+    env = _env()
+    ct = env["ev"].mult(
+        env["enc"].encrypt_values(z1), env["enc"].encrypt_values(z2)
+    )
+    got = env["dec"].decrypt_values(ct)
+    assert np.max(np.abs(got - z1 * z2)) < 1e-2
+
+
+@settings(max_examples=20, deadline=None)
+@given(z1=_vector, z2=_vector)
+def test_merged_mod_down_matches_standard(z1, z2):
+    env = _env()
+    ct1 = env["enc"].encrypt_values(z1)
+    ct2 = env["enc"].encrypt_values(z2)
+    standard = env["dec"].decrypt_values(env["ev"].mult(ct1, ct2))
+    merged = env["dec"].decrypt_values(
+        env["ev"].mult(ct1, ct2, merged_mod_down=True)
+    )
+    assert np.max(np.abs(standard - merged)) < 1e-2
+
+
+@settings(max_examples=15, deadline=None)
+@given(z=_vector, steps=st.lists(st.integers(1, 7), min_size=1, max_size=4))
+def test_hoisted_rotations_match_sequential(z, steps):
+    env = _env()
+    ct = env["enc"].encrypt_values(z)
+    hoisted = env["ev"].rotations_hoisted(ct, steps)
+    for step in set(steps):
+        individual = env["dec"].decrypt_values(env["ev"].rotate(ct, step))
+        shared = env["dec"].decrypt_values(hoisted[step])
+        assert np.max(np.abs(individual - shared)) < 1e-2
+
+
+@settings(max_examples=20, deadline=None)
+@given(z1=_vector, z2=_vector, z3=_vector)
+def test_addition_is_associative_and_commutative(z1, z2, z3):
+    env = _env()
+    cts = [env["enc"].encrypt_values(z) for z in (z1, z2, z3)]
+    left = env["ev"].add(env["ev"].add(cts[0], cts[1]), cts[2])
+    right = env["ev"].add(cts[0], env["ev"].add(cts[2], cts[1]))
+    got_left = env["dec"].decrypt_values(left)
+    got_right = env["dec"].decrypt_values(right)
+    assert np.max(np.abs(got_left - got_right)) < 1e-3
+    assert np.max(np.abs(got_left - (z1 + z2 + z3))) < 1e-3
+
+
+@settings(max_examples=15, deadline=None)
+@given(z=_vector, r1=st.integers(0, 7), r2=st.integers(0, 7))
+def test_rotations_compose(z, r1, r2):
+    env = _env()
+    if (r1 + r2) % 8 == 0 or r1 == 0 or r2 == 0:
+        return
+    ct = env["enc"].encrypt_values(z)
+    composed = env["ev"].rotate(env["ev"].rotate(ct, r1), r2)
+    direct = env["ev"].rotate(ct, (r1 + r2) % 8)
+    got_c = env["dec"].decrypt_values(composed)
+    got_d = env["dec"].decrypt_values(direct)
+    assert np.max(np.abs(got_c - got_d)) < 1e-2

@@ -1,0 +1,122 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.params import toy_params
+from repro.ckks.noise import (
+    NoiseEstimate,
+    NoiseEstimator,
+    measured_noise_bits,
+    _log2_sum,
+)
+
+
+class TestLog2Sum:
+    def test_equal_terms(self):
+        assert _log2_sum(3.0, 3.0) == pytest.approx(4.0)
+
+    def test_dominant_term(self):
+        assert _log2_sum(100.0, 0.0) == pytest.approx(100.0)
+
+    def test_commutative(self):
+        assert _log2_sum(2.0, 7.0) == _log2_sum(7.0, 2.0)
+
+
+class TestMeasuredNoise:
+    def test_exact_match_is_minus_infinity(self):
+        assert measured_noise_bits([1.0, 2.0], [1.0, 2.0]) == float("-inf")
+
+    def test_known_error(self):
+        got = measured_noise_bits([1.0 + 2**-10], [1.0])
+        assert got == pytest.approx(-10.0)
+
+
+class TestNoiseEstimate:
+    def test_precision(self):
+        est = NoiseEstimate(noise_bits=5.0, scale_bits=25.0)
+        assert est.precision_bits == 20.0
+        assert est.is_usable()
+
+    def test_unusable(self):
+        est = NoiseEstimate(noise_bits=24.0, scale_bits=25.0)
+        assert not est.is_usable(required_bits=4.0)
+
+
+class TestNoiseEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return NoiseEstimator(toy_params(log_n=4, log_q=30, max_limbs=8, dnum=3))
+
+    def test_fresh_has_high_precision(self, estimator):
+        est = estimator.fresh(scale_bits=25)
+        assert est.precision_bits > 15
+
+    def test_add_grows_noise_slightly(self, estimator):
+        fresh = estimator.fresh(25)
+        summed = estimator.add(fresh, fresh)
+        assert fresh.noise_bits < summed.noise_bits <= fresh.noise_bits + 1.01
+
+    def test_add_rejects_scale_mismatch(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.add(estimator.fresh(25), estimator.fresh(20))
+
+    def test_mult_then_rescale_keeps_scale(self, estimator):
+        fresh = estimator.fresh(25)
+        out = estimator.rescale(estimator.mult(fresh, fresh))
+        assert out.scale_bits == pytest.approx(2 * 25 - 30)
+
+    def test_rotation_adds_bounded_noise(self, estimator):
+        fresh = estimator.fresh(25)
+        rotated = estimator.rotate(fresh)
+        assert rotated.scale_bits == fresh.scale_bits
+        assert rotated.noise_bits >= fresh.noise_bits
+
+    def test_depth_budget_positive_with_matched_scale(self):
+        params = toy_params(log_n=4, log_q=30, max_limbs=8, dnum=3)
+        estimator = NoiseEstimator(params)
+        assert estimator.depth_budget(scale_bits=30) >= 2
+
+    def test_depth_budget_shrinks_with_small_scale(self):
+        params = toy_params(log_n=4, log_q=30, max_limbs=8, dnum=3)
+        estimator = NoiseEstimator(params)
+        small = estimator.depth_budget(scale_bits=14)
+        large = estimator.depth_budget(scale_bits=30)
+        assert small <= large
+
+
+class TestEstimatesAgainstRealScheme:
+    """The analytical bounds must upper-bound (not wildly exceed) reality."""
+
+    @pytest.fixture(scope="class")
+    def env(self):
+        from repro.ckks import CkksContext, Decryptor, Encryptor, Evaluator, KeyGenerator
+
+        params = toy_params(log_n=4, log_q=30, max_limbs=8, dnum=3)
+        ctx = CkksContext(params, scale_bits=25, seed=17)
+        kg = KeyGenerator(ctx)
+        return {
+            "params": params,
+            "ctx": ctx,
+            "enc": Encryptor(ctx, secret_key=kg.secret_key),
+            "dec": Decryptor(ctx, kg.secret_key),
+            "ev": Evaluator(ctx, relin_key=kg.relinearization_key()),
+            "est": NoiseEstimator(params),
+        }
+
+    def test_fresh_encryption_within_estimate(self, env):
+        z = np.linspace(-1, 1, 8)
+        ct = env["enc"].encrypt_values(z)
+        measured = measured_noise_bits(env["dec"].decrypt_values(ct), z)
+        predicted = env["est"].fresh(25)
+        # measured error (in message units) = noise / scale.
+        assert measured <= predicted.noise_bits - predicted.scale_bits + 4
+
+    def test_mult_within_estimate(self, env):
+        z = np.linspace(-0.9, 0.9, 8)
+        ct = env["enc"].encrypt_values(z)
+        out = env["ev"].mult(ct, ct)
+        measured = measured_noise_bits(env["dec"].decrypt_values(out), z * z)
+        fresh = env["est"].fresh(25)
+        predicted = env["est"].rescale(env["est"].mult(fresh, fresh))
+        assert measured <= predicted.noise_bits - predicted.scale_bits + 6

@@ -1,0 +1,74 @@
+"""Scalability checks: the functional layer at larger ring degrees.
+
+The unit suite runs at N = 16 for speed; these tests exercise N = 128
+(64 slots) to confirm nothing in the implementation depends on tiny rings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.params import toy_params
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def env128():
+    params = toy_params(log_n=7, log_q=40, max_limbs=5, dnum=3)
+    ctx = CkksContext(params, seed=29)
+    kg = KeyGenerator(ctx)
+    return {
+        "ctx": ctx,
+        "enc": Encryptor(ctx, secret_key=kg.secret_key),
+        "dec": Decryptor(ctx, kg.secret_key),
+        "ev": Evaluator(
+            ctx,
+            relin_key=kg.relinearization_key(),
+            rotation_keys={1: kg.rotation_key(1), 17: kg.rotation_key(17)},
+            conjugation_key=kg.conjugation_key(),
+        ),
+        "rng": np.random.default_rng(0),
+    }
+
+
+class TestDegree128:
+    def test_encrypt_decrypt(self, env128):
+        z = env128["rng"].normal(size=64) + 1j * env128["rng"].normal(size=64)
+        ct = env128["enc"].encrypt_values(z)
+        got = env128["dec"].decrypt_values(ct)
+        assert np.max(np.abs(got - z)) < 1e-6
+
+    def test_mult(self, env128):
+        rng = env128["rng"]
+        z1 = rng.normal(size=64)
+        z2 = rng.normal(size=64)
+        ct = env128["ev"].mult(
+            env128["enc"].encrypt_values(z1), env128["enc"].encrypt_values(z2)
+        )
+        got = env128["dec"].decrypt_values(ct)
+        assert np.max(np.abs(got - z1 * z2)) < 1e-5
+
+    def test_rotations(self, env128):
+        z = env128["rng"].normal(size=64)
+        ct = env128["enc"].encrypt_values(z)
+        for steps in (1, 17):
+            got = env128["dec"].decrypt_values(env128["ev"].rotate(ct, steps))
+            assert np.max(np.abs(got - np.roll(z, -steps))) < 1e-5
+
+    def test_conjugate(self, env128):
+        z = env128["rng"].normal(size=64) + 1j * env128["rng"].normal(size=64)
+        ct = env128["enc"].encrypt_values(z)
+        got = env128["dec"].decrypt_values(env128["ev"].conjugate(ct))
+        assert np.max(np.abs(got - np.conj(z))) < 1e-5
+
+    def test_precision_improves_with_larger_scale(self, env128):
+        """At 40-bit limbs the default 35-bit scale gives ~1e-8 accuracy."""
+        z = env128["rng"].normal(size=64)
+        ct = env128["enc"].encrypt_values(z)
+        got = env128["dec"].decrypt_values(ct)
+        assert np.max(np.abs(got - z)) < 1e-7

@@ -1,0 +1,73 @@
+import pytest
+
+from repro.hardware import BTS, CRATERLAKE, mad_counterpart
+from repro.hardware.area import (
+    NODES,
+    TechnologyNode,
+    chip_area,
+    performance_per_cost,
+    relative_cost,
+)
+
+
+class TestNodes:
+    def test_known_nodes_present(self):
+        assert {"7nm", "14nm", "28nm"} <= set(NODES)
+
+    def test_advanced_nodes_denser_but_pricier(self):
+        assert NODES["7nm"].sram_mm2_per_mb < NODES["28nm"].sram_mm2_per_mb
+        assert NODES["7nm"].cost_per_mm2 > NODES["28nm"].cost_per_mm2
+
+    def test_rejects_bad_characteristics(self):
+        with pytest.raises(ValueError):
+            TechnologyNode("x", 0, 1, 1)
+
+
+class TestChipArea:
+    def test_bts_area_magnitude(self):
+        # BTS: 512 MB + 8192 multipliers at 7 nm reported ~373 mm^2;
+        # our coarse model must land in the right ballpark.
+        est = chip_area(BTS, NODES["7nm"])
+        assert 150 <= est.total_mm2 <= 600
+
+    def test_memory_dominates_large_cache_designs(self):
+        """Section 4.4: large on-chip memory dominates chip area."""
+        est = chip_area(BTS, NODES["7nm"])
+        assert est.memory_fraction > 0.8
+
+    def test_mad_counterpart_is_much_smaller(self):
+        node = NODES["7nm"]
+        original = chip_area(BTS, node)
+        mad = chip_area(mad_counterpart(BTS), node)
+        # 512 -> 32 MB is a 16x memory reduction; SRAM area follows.
+        assert original.sram_mm2 / mad.sram_mm2 == pytest.approx(16.0)
+        assert mad.total_mm2 < original.total_mm2 / 4
+
+    def test_logic_area_scales_with_multipliers(self):
+        node = NODES["7nm"]
+        assert (
+            chip_area(CRATERLAKE, node).logic_mm2
+            > chip_area(BTS, node).logic_mm2
+        )
+
+
+class TestCost:
+    def test_cost_reduction_tracks_memory_reduction(self):
+        """The abstract's claim: 16x less memory 'proportionally reduces
+        the cost of the solution'."""
+        node = NODES["7nm"]
+        ratio = relative_cost(BTS, node) / relative_cost(
+            mad_counterpart(BTS), node
+        )
+        assert ratio > 4  # memory dominates, so cost drops several-fold
+
+    def test_performance_per_cost_favors_mad_when_runtime_close(self):
+        node = NODES["7nm"]
+        # Even if the MAD design is ~1.5x slower, its perf/cost wins.
+        original = performance_per_cost(0.050, BTS, node)
+        mad = performance_per_cost(0.075, mad_counterpart(BTS), node)
+        assert mad > original
+
+    def test_runtime_validation(self):
+        with pytest.raises(ValueError):
+            performance_per_cost(0, BTS, NODES["7nm"])

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.hardware import (
+    ARK,
+    BTS,
+    CRATERLAKE,
+    F1,
+    GPU_JUNG,
+    HardwareDesign,
+    PRIOR_DESIGNS,
+    mad_counterpart,
+)
+
+
+class TestDesignValidation:
+    def test_rejects_nonpositive_multipliers(self):
+        with pytest.raises(ValueError):
+            HardwareDesign(
+                name="bad",
+                modular_multipliers=0,
+                on_chip_mb=32,
+                bandwidth_gb_s=1000,
+                params=BASELINE_JUNG,
+            )
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            HardwareDesign(
+                name="bad",
+                modular_multipliers=1024,
+                on_chip_mb=0,
+                bandwidth_gb_s=1000,
+                params=BASELINE_JUNG,
+            )
+
+    def test_compute_throughput(self):
+        d = HardwareDesign(
+            name="x",
+            modular_multipliers=1000,
+            on_chip_mb=32,
+            bandwidth_gb_s=500,
+            params=BASELINE_JUNG,
+            frequency_ghz=2.0,
+        )
+        assert d.compute_ops_per_second == 2e12
+        assert d.bandwidth_bytes_per_second == 5e11
+
+
+class TestPresets:
+    def test_all_prior_designs_registered(self):
+        assert set(PRIOR_DESIGNS) == {
+            "GPU [Jung et al.]",
+            "F1",
+            "BTS",
+            "ARK",
+            "CraterLake",
+        }
+
+    def test_table6_characteristics(self):
+        assert GPU_JUNG.on_chip_mb == 6 and GPU_JUNG.bandwidth_gb_s == 900
+        assert F1.modular_multipliers == 18432 and F1.on_chip_mb == 64
+        assert BTS.modular_multipliers == 8192 and BTS.on_chip_mb == 512
+        assert ARK.modular_multipliers == 20480
+        assert CRATERLAKE.bandwidth_gb_s == 2400
+
+    def test_f1_is_unpacked(self):
+        # F1 bootstraps a single element -> throughput collapses (Table 6).
+        assert F1.slots == 1
+
+    def test_packed_designs_use_half_ring(self):
+        assert GPU_JUNG.slots == 2**16
+        assert BTS.slots == 2**16
+
+    def test_log_q1_matches_table6(self):
+        assert GPU_JUNG.params.log_q1 == 1080
+        assert F1.params.log_q1 == 416
+        assert ARK.params.log_q1 == 432
+        assert CRATERLAKE.params.log_q1 == 532
+
+    def test_designs_support_bootstrapping(self):
+        for design in PRIOR_DESIGNS.values():
+            assert design.params.supports_bootstrapping()
+
+
+class TestMadCounterpart:
+    def test_matches_compute_and_bandwidth(self):
+        mad = mad_counterpart(CRATERLAKE)
+        assert mad.modular_multipliers == CRATERLAKE.modular_multipliers
+        assert mad.bandwidth_gb_s == CRATERLAKE.bandwidth_gb_s
+        assert mad.frequency_ghz == CRATERLAKE.frequency_ghz
+
+    def test_uses_32_mb_and_optimal_params(self):
+        mad = mad_counterpart(BTS)
+        assert mad.on_chip_mb == 32
+        assert mad.params == MAD_OPTIMAL
+
+    def test_custom_memory(self):
+        mad = mad_counterpart(BTS, on_chip_mb=512)
+        assert mad.on_chip_mb == 512
+        assert "512" in mad.name
+
+    def test_with_memory_helper(self):
+        bigger = GPU_JUNG.with_memory(32)
+        assert bigger.on_chip_mb == 32
+        assert bigger.params == GPU_JUNG.params

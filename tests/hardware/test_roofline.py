@@ -1,0 +1,53 @@
+import pytest
+
+from repro.params import MAD_OPTIMAL
+from repro.perf import BootstrapModel, MADConfig
+from repro.perf.events import CostReport, MemTraffic, OpCount
+from repro.hardware import BTS, GPU_JUNG, mad_counterpart
+from repro.hardware.roofline import balance_point, render_balance
+
+
+class TestBalancePoint:
+    def test_manual_numbers(self):
+        # 10 Gops on 1000 mults @1GHz = 10 ms compute; 5 GB @1TB/s = 5 ms.
+        cost = CostReport(
+            OpCount(mults=10 * 10**9), MemTraffic(ct_read=5 * 10**9)
+        )
+        from repro.hardware import HardwareDesign
+        from repro.params import BASELINE_JUNG
+
+        design = HardwareDesign(
+            name="x",
+            modular_multipliers=1000,
+            on_chip_mb=32,
+            bandwidth_gb_s=1000,
+            params=BASELINE_JUNG,
+        )
+        point = balance_point(cost, design)
+        assert point.runtime.bound == "compute"
+        assert point.compute_scaling == pytest.approx(2.0)
+        assert point.bandwidth_scaling == pytest.approx(0.5)
+        # Balanced at current compute: 5 GB over 10 ms = 500 GB/s.
+        assert point.balanced_bandwidth_gb_s == pytest.approx(500.0)
+        # Balanced at current bandwidth: 10 Gops in 5 ms = 2000 mults.
+        assert point.balanced_multipliers == 2000
+
+    def test_mad_bootstrap_balance_on_designs(self):
+        cost = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+        point = balance_point(cost, mad_counterpart(BTS))
+        # In our model the MAD design points are memory-bound -> balance
+        # needs more bandwidth, not more compute.
+        assert point.runtime.bound == "memory"
+        assert point.bandwidth_scaling > 1.0
+        assert point.balanced_multipliers < BTS.modular_multipliers
+
+    def test_zero_sided_workload_rejected(self):
+        with pytest.raises(ValueError):
+            balance_point(CostReport(OpCount(mults=1)), GPU_JUNG)
+
+    def test_render_mentions_bound_and_need(self):
+        cost = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+        text = render_balance("BTS+MAD", balance_point(cost, mad_counterpart(BTS)))
+        assert "BTS+MAD" in text
+        assert "bound" in text
+        assert "balance" in text

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import BootstrapModel, MADConfig
+from repro.perf.events import CostReport, MemTraffic, OpCount
+from repro.hardware import (
+    CRATERLAKE,
+    GPU_JUNG,
+    HardwareDesign,
+    RuntimeEstimate,
+    estimate_runtime,
+    mad_counterpart,
+)
+
+
+class TestRuntimeEstimate:
+    def test_roofline_is_max(self):
+        est = RuntimeEstimate(compute_seconds=0.2, memory_seconds=0.5)
+        assert est.seconds == 0.5
+        assert est.bound == "memory"
+
+    def test_compute_bound(self):
+        est = RuntimeEstimate(compute_seconds=0.5, memory_seconds=0.2)
+        assert est.bound == "compute"
+        assert est.balance == pytest.approx(2.5)
+
+    def test_milliseconds(self):
+        est = RuntimeEstimate(0.01, 0.02)
+        assert est.milliseconds == pytest.approx(20.0)
+
+
+class TestEstimateRuntime:
+    def test_manual_numbers(self):
+        cost = CostReport(
+            OpCount(mults=1_000_000_000),
+            MemTraffic(ct_read=2_000_000_000),
+        )
+        design = HardwareDesign(
+            name="x",
+            modular_multipliers=1000,
+            on_chip_mb=32,
+            bandwidth_gb_s=100,
+            params=BASELINE_JUNG,
+        )
+        est = estimate_runtime(cost, design)
+        assert est.compute_seconds == pytest.approx(1e9 / 1e12)
+        assert est.memory_seconds == pytest.approx(2e9 / 1e11)
+        assert est.bound == "memory"
+
+    def test_baseline_bootstrap_on_gpu_is_memory_bound(self):
+        """The paper's core observation: bootstrapping is memory-bound on
+        realistic hardware without MAD optimizations."""
+        cost = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+        est = estimate_runtime(cost, GPU_JUNG)
+        assert est.bound == "memory"
+
+    def test_mad_reduces_gpu_bootstrap_runtime(self):
+        base = estimate_runtime(
+            BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost(),
+            GPU_JUNG,
+        )
+        optimized = estimate_runtime(
+            BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost(),
+            mad_counterpart(GPU_JUNG),
+        )
+        assert optimized.seconds < base.seconds / 2
+
+    def test_more_bandwidth_helps_when_memory_bound(self):
+        cost = BootstrapModel(BASELINE_JUNG).total_cost()
+        slow = estimate_runtime(cost, GPU_JUNG)
+        fast = estimate_runtime(
+            cost, mad_counterpart(CRATERLAKE).with_params(BASELINE_JUNG)
+        )
+        assert fast.memory_seconds < slow.memory_seconds

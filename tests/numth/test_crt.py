@@ -1,0 +1,50 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numth import crt_reconstruct, find_ntt_primes, to_rns
+
+
+class TestToRns:
+    def test_simple_split(self):
+        assert to_rns(10, [3, 7]) == [1, 3]
+
+    def test_zero(self):
+        assert to_rns(0, [5, 11, 13]) == [0, 0, 0]
+
+    def test_negative_value_wraps(self):
+        assert to_rns(-1, [5, 7]) == [4, 6]
+
+
+class TestCrtReconstruct:
+    def test_round_trip_small(self):
+        moduli = [3, 5, 7]
+        for x in range(105):
+            assert crt_reconstruct(to_rns(x, moduli), moduli) == x
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            crt_reconstruct([1, 2], [3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            crt_reconstruct([], [])
+
+    def test_round_trip_ntt_primes(self):
+        moduli = find_ntt_primes(30, 64, 4)
+        total = 1
+        for q in moduli:
+            total *= q
+        x = total - 12345
+        assert crt_reconstruct(to_rns(x, moduli), moduli) == x
+
+    @given(st.integers(0, 3 * 5 * 7 * 11 - 1))
+    def test_round_trip_property(self, x):
+        moduli = [3, 5, 7, 11]
+        assert crt_reconstruct(to_rns(x, moduli), moduli) == x
+
+    @given(st.integers(-(10**18), 10**18))
+    def test_congruence_property(self, x):
+        moduli = find_ntt_primes(25, 16, 3)
+        recon = crt_reconstruct(to_rns(x, moduli), moduli)
+        for q in moduli:
+            assert recon % q == x % q

@@ -1,0 +1,71 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numth import centered_mod, mod_inverse, mod_pow
+
+
+class TestModPow:
+    def test_small_cases(self):
+        assert mod_pow(2, 10, 1000) == 24
+        assert mod_pow(3, 0, 7) == 1
+        assert mod_pow(0, 5, 7) == 0
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            mod_pow(2, -1, 7)
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            mod_pow(2, 3, 0)
+
+    @given(st.integers(0, 10**6), st.integers(0, 50), st.integers(2, 10**6))
+    def test_matches_naive(self, base, exp, mod):
+        assert mod_pow(base, exp, mod) == (base**exp) % mod
+
+
+class TestModInverse:
+    def test_known_inverse(self):
+        assert mod_inverse(3, 7) == 5
+
+    def test_inverse_of_one(self):
+        assert mod_inverse(1, 97) == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            mod_inverse(1, 1)
+
+    @given(st.integers(1, 10**9))
+    def test_inverse_round_trip_prime_field(self, value):
+        q = 2**31 - 1  # Mersenne prime
+        v = value % q
+        if v == 0:
+            v = 1
+        inv = mod_inverse(v, q)
+        assert v * inv % q == 1
+
+
+class TestCenteredMod:
+    def test_positive_stays(self):
+        assert centered_mod(3, 17) == 3
+
+    def test_wraps_to_negative(self):
+        assert centered_mod(16, 17) == -1
+
+    def test_half_boundary_inclusive(self):
+        # For even modulus, modulus/2 itself stays positive.
+        assert centered_mod(5, 10) == 5
+        assert centered_mod(6, 10) == -4
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            centered_mod(1, 0)
+
+    @given(st.integers(-(10**12), 10**12), st.integers(2, 10**9))
+    def test_range_and_congruence(self, value, modulus):
+        r = centered_mod(value, modulus)
+        assert -modulus // 2 <= r <= modulus // 2
+        assert (r - value) % modulus == 0

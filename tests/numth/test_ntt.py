@@ -1,0 +1,117 @@
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numth import NttContext, find_ntt_primes
+
+
+def _naive_negacyclic_multiply(a, b, q):
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k >= n:
+                out[k - n] = (out[k - n] - term) % q
+            else:
+                out[k] = (out[k] + term) % q
+    return out
+
+
+@pytest.fixture(scope="module")
+def ctx16():
+    q = find_ntt_primes(30, 16, 1)[0]
+    return NttContext(16, q)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        q = find_ntt_primes(30, 16, 1)[0]
+        with pytest.raises(ValueError):
+            NttContext(12, q)
+
+    def test_rejects_incompatible_modulus(self):
+        with pytest.raises(ValueError):
+            NttContext(16, 113)  # 112 not divisible by 32
+
+    def test_psi_has_order_2n(self, ctx16):
+        assert pow(ctx16.psi, 32, ctx16.q) == 1
+        assert pow(ctx16.psi, 16, ctx16.q) != 1
+
+
+class TestRoundTrip:
+    def test_identity_round_trip(self, ctx16):
+        coeffs = list(range(16))
+        assert ctx16.inverse(ctx16.forward(coeffs)) == coeffs
+
+    def test_round_trip_random(self, ctx16):
+        rng = random.Random(7)
+        coeffs = [rng.randrange(ctx16.q) for _ in range(16)]
+        assert ctx16.inverse(ctx16.forward(coeffs)) == coeffs
+
+    def test_wrong_length_rejected(self, ctx16):
+        with pytest.raises(ValueError):
+            ctx16.forward([1] * 8)
+        with pytest.raises(ValueError):
+            ctx16.inverse([1] * 32)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 2**29), min_size=16, max_size=16))
+    def test_round_trip_property(self, coeffs):
+        q = find_ntt_primes(30, 16, 1)[0]
+        ctx = NttContext(16, q)
+        assert ctx.inverse(ctx.forward(coeffs)) == [c % q for c in coeffs]
+
+
+class TestLinearity:
+    def test_forward_is_additive(self, ctx16):
+        rng = random.Random(11)
+        a = [rng.randrange(ctx16.q) for _ in range(16)]
+        b = [rng.randrange(ctx16.q) for _ in range(16)]
+        fa, fb = ctx16.forward(a), ctx16.forward(b)
+        fsum = ctx16.forward([(x + y) % ctx16.q for x, y in zip(a, b)])
+        assert fsum == [(x + y) % ctx16.q for x, y in zip(fa, fb)]
+
+
+class TestNegacyclicMultiply:
+    def test_multiply_by_one(self, ctx16):
+        one = [1] + [0] * 15
+        a = list(range(1, 17))
+        assert ctx16.negacyclic_multiply(a, one) == a
+
+    def test_x_to_n_is_minus_one(self, ctx16):
+        # x^(N/2) * x^(N/2) = x^N = -1 in the negacyclic ring.
+        half = [0] * 16
+        half[8] = 1
+        result = ctx16.negacyclic_multiply(half, half)
+        expected = [0] * 16
+        expected[0] = ctx16.q - 1
+        assert result == expected
+
+    def test_matches_schoolbook(self, ctx16):
+        rng = random.Random(3)
+        a = [rng.randrange(ctx16.q) for _ in range(16)]
+        b = [rng.randrange(ctx16.q) for _ in range(16)]
+        assert ctx16.negacyclic_multiply(a, b) == _naive_negacyclic_multiply(
+            a, b, ctx16.q
+        )
+
+    def test_matches_schoolbook_larger_degree(self):
+        q = find_ntt_primes(40, 64, 1)[0]
+        ctx = NttContext(64, q)
+        rng = random.Random(5)
+        a = [rng.randrange(q) for _ in range(64)]
+        b = [rng.randrange(q) for _ in range(64)]
+        assert ctx.negacyclic_multiply(a, b) == _naive_negacyclic_multiply(a, b, q)
+
+    @settings(max_examples=15)
+    @given(
+        st.lists(st.integers(0, 2**20), min_size=16, max_size=16),
+        st.lists(st.integers(0, 2**20), min_size=16, max_size=16),
+    )
+    def test_commutativity(self, a, b):
+        q = find_ntt_primes(30, 16, 1)[0]
+        ctx = NttContext(16, q)
+        assert ctx.negacyclic_multiply(a, b) == ctx.negacyclic_multiply(b, a)

@@ -1,0 +1,108 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numth import find_ntt_primes, is_prime, primitive_root, root_of_unity
+from repro.numth.modular import mod_pow
+from repro.numth.primes import factorize
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 91, 561, 1105):  # includes Carmichael numbers
+            assert not is_prime(c)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * (2**31 + 11))
+
+    @given(st.integers(2, 10**4))
+    def test_matches_trial_division(self, n):
+        naive = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == naive
+
+
+class TestFactorize:
+    def test_prime_power(self):
+        assert factorize(1024) == {2: 10}
+
+    def test_mixed(self):
+        assert factorize(360) == {2: 3, 3: 2, 5: 1}
+
+    def test_one(self):
+        assert factorize(1) == {}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 10**9))
+    def test_product_round_trip(self, n):
+        factors = factorize(n)
+        product = 1
+        for p, e in factors.items():
+            assert is_prime(p)
+            product *= p**e
+        assert product == n
+
+
+class TestPrimitiveRoot:
+    def test_known_root(self):
+        # 3 is the smallest primitive root of 7.
+        assert primitive_root(7) == 3
+
+    def test_generates_full_group(self):
+        q = 97
+        g = primitive_root(q)
+        assert len({mod_pow(g, k, q) for k in range(q - 1)}) == q - 1
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            primitive_root(15)
+
+
+class TestRootOfUnity:
+    def test_order_is_exact(self):
+        q = find_ntt_primes(20, 64, 1)[0]
+        w = root_of_unity(128, q)
+        assert mod_pow(w, 128, q) == 1
+        assert mod_pow(w, 64, q) != 1
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            root_of_unity(5, 7)  # 5 does not divide 7 - 1
+        with pytest.raises(ValueError):
+            root_of_unity(4, 7)  # 4 does not divide 7 - 1
+
+
+class TestFindNttPrimes:
+    def test_congruence_and_size(self):
+        primes = find_ntt_primes(30, 256, 5)
+        assert len(primes) == len(set(primes)) == 5
+        for p in primes:
+            assert is_prime(p)
+            assert p % 512 == 1
+            assert 2**29 < p < 2**30
+
+    def test_descending_order(self):
+        primes = find_ntt_primes(40, 128, 4)
+        assert primes == sorted(primes, reverse=True)
+
+    def test_exclusion_respected(self):
+        first = find_ntt_primes(30, 128, 3)
+        second = find_ntt_primes(30, 128, 3, exclude=first)
+        assert not set(first) & set(second)
+
+    def test_rejects_non_power_of_two_degree(self):
+        with pytest.raises(ValueError):
+            find_ntt_primes(30, 100, 1)
+
+    def test_rejects_impossible_request(self):
+        with pytest.raises(ValueError):
+            find_ntt_primes(8, 64, 50)

@@ -1,0 +1,129 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL, CkksParams, toy_params
+
+
+class TestGeometry:
+    def test_ring_degree_and_slots(self):
+        p = toy_params(log_n=5)
+        assert p.ring_degree == 32
+        assert p.slots == 16
+
+    def test_limb_bytes_full_scale(self):
+        # N = 2^17 words of 8 bytes = 1 MiB per limb.
+        assert BASELINE_JUNG.limb_bytes == 2**17 * 8 == 1048576
+
+    def test_ciphertext_size_matches_paper(self):
+        # The paper quotes ~73.4 MB for N=2^17, 35 limbs (decimal MB).
+        assert BASELINE_JUNG.ciphertext_bytes() == pytest.approx(73.4e6, rel=0.01)
+
+
+class TestDecomposition:
+    def test_alpha_baseline(self):
+        # alpha = ceil((35+1)/3) = 12, as computed in Section 3.1.
+        assert BASELINE_JUNG.alpha == 12
+
+    def test_alpha_mad_optimal(self):
+        # alpha = ceil((40+1)/2) = 21.
+        assert MAD_OPTIMAL.alpha == 21
+
+    def test_beta_full_level(self):
+        # beta = ceil((35+1)/12) = 3 = dnum at full level.
+        assert BASELINE_JUNG.beta(35) == 3
+
+    def test_beta_decreases_with_level(self):
+        assert BASELINE_JUNG.beta(12) == 2
+        assert BASELINE_JUNG.beta(10) == 1
+
+    def test_beta_never_exceeds_dnum(self):
+        for limbs in range(1, BASELINE_JUNG.max_limbs + 1):
+            assert BASELINE_JUNG.beta(limbs) <= BASELINE_JUNG.dnum
+
+    def test_raised_limbs(self):
+        assert BASELINE_JUNG.raised_limbs(35) == 47
+
+    def test_beta_rejects_bad_limbs(self):
+        with pytest.raises(ValueError):
+            BASELINE_JUNG.beta(0)
+
+
+class TestSecurity:
+    def test_paper_presets_are_secure(self):
+        assert BASELINE_JUNG.is_128_bit_secure()
+        assert MAD_OPTIMAL.is_128_bit_secure()
+
+    def test_oversized_modulus_is_insecure(self):
+        p = CkksParams(log_n=17, log_q=60, max_limbs=55, dnum=1)
+        assert not p.is_128_bit_secure()
+
+    def test_log_qp_composition(self):
+        p = BASELINE_JUNG
+        assert p.log_qp == p.max_limbs * p.log_q + p.alpha * p.log_q
+
+
+class TestBootstrapBudget:
+    def test_baseline_log_q1_matches_table6(self):
+        # Table 6 GPU row: log Q1 = 1080 = 20 limbs * 54 bits.
+        assert BASELINE_JUNG.bootstrap_output_limbs == 20
+        assert BASELINE_JUNG.log_q1 == 1080
+
+    def test_mad_log_q1_matches_table6(self):
+        # Table 6 MAD rows: log Q1 = 950 = 19 limbs * 50 bits.
+        assert MAD_OPTIMAL.bootstrap_output_limbs == 19
+        assert MAD_OPTIMAL.log_q1 == 950
+
+    def test_unbootstrappable_params_detected(self):
+        p = CkksParams(log_n=13, log_q=40, max_limbs=10, dnum=2)
+        assert not p.supports_bootstrapping()
+        with pytest.raises(ValueError):
+            _ = p.bootstrap_output_limbs
+
+
+class TestSizes:
+    def test_switching_key_bytes(self):
+        p = BASELINE_JUNG
+        expected = 2 * p.dnum * (p.max_limbs + p.alpha) * p.limb_bytes
+        assert p.switching_key_bytes() == expected
+
+    def test_key_compression_halves_size(self):
+        p = BASELINE_JUNG
+        assert p.switching_key_bytes(compressed=True) * 2 == p.switching_key_bytes()
+
+    def test_plaintext_is_half_a_ciphertext(self):
+        p = toy_params()
+        assert 2 * p.plaintext_bytes(4) == p.ciphertext_bytes(4)
+
+
+class TestValidation:
+    def test_rejects_bad_log_n(self):
+        with pytest.raises(ValueError):
+            CkksParams(log_n=1, log_q=40, max_limbs=4, dnum=2)
+
+    def test_rejects_oversized_limb(self):
+        with pytest.raises(ValueError):
+            CkksParams(log_n=10, log_q=70, max_limbs=4, dnum=2)
+
+    def test_rejects_bad_dnum(self):
+        with pytest.raises(ValueError):
+            CkksParams(log_n=10, log_q=40, max_limbs=4, dnum=6)
+        with pytest.raises(ValueError):
+            CkksParams(log_n=10, log_q=40, max_limbs=4, dnum=0)
+
+    def test_describe_mentions_key_facts(self):
+        text = BASELINE_JUNG.describe()
+        assert "2^17" in text and "L=35" in text and "dnum=3" in text
+
+    @given(
+        st.integers(2, 17),
+        st.integers(20, 60),
+        st.integers(1, 50),
+        st.integers(1, 8),
+    )
+    def test_derived_quantities_consistent(self, log_n, log_q, max_limbs, dnum):
+        if dnum > max_limbs + 1:
+            return
+        p = CkksParams(log_n=log_n, log_q=log_q, max_limbs=max_limbs, dnum=dnum)
+        assert p.alpha * p.dnum >= p.max_limbs + 1
+        assert p.beta(max_limbs) <= p.dnum
+        assert p.ciphertext_bytes(1) == 2 * p.limb_bytes

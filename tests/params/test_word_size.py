@@ -1,0 +1,33 @@
+import pytest
+
+from repro.params import CkksParams
+from repro.hardware import CRATERLAKE
+
+
+class TestWordSize:
+    def test_default_is_64_bit(self):
+        p = CkksParams(log_n=14, log_q=50, max_limbs=10, dnum=2)
+        assert p.word_bytes == 8
+        assert p.limb_bytes == 8 * 2**14
+
+    def test_32_bit_words_halve_limb_size(self):
+        p = CkksParams(log_n=14, log_q=28, max_limbs=10, dnum=2, word_bytes=4)
+        assert p.limb_bytes == 4 * 2**14
+
+    def test_craterlake_uses_packed_words(self):
+        assert CRATERLAKE.params.word_bytes == 4
+        # One CraterLake limb is ~0.5 MB instead of ~1 MB.
+        assert CRATERLAKE.params.limb_bytes == 4 * 2**17
+
+    def test_oversized_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            CkksParams(log_n=14, log_q=40, max_limbs=10, dnum=2, word_bytes=4)
+
+    def test_invalid_word_size_rejected(self):
+        with pytest.raises(ValueError):
+            CkksParams(log_n=14, log_q=28, max_limbs=10, dnum=2, word_bytes=2)
+
+    def test_ciphertext_bytes_track_word_size(self):
+        wide = CkksParams(log_n=14, log_q=28, max_limbs=10, dnum=2)
+        packed = CkksParams(log_n=14, log_q=28, max_limbs=10, dnum=2, word_bytes=4)
+        assert wide.ciphertext_bytes(10) == 2 * packed.ciphertext_bytes(10)

@@ -1,0 +1,158 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL, CkksParams
+from repro.perf import (
+    ALGORITHMIC_LADDER,
+    CACHING_LADDER,
+    BootstrapModel,
+    CacheModel,
+    MADConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_total():
+    return BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+
+
+class TestBaselineCalibration:
+    """Bootstrap totals against Table 4's last column (149.5 Gops,
+    208.0 GB, AI 0.72) — reproduced within ~15%."""
+
+    def test_ops_near_paper(self, baseline_total):
+        assert baseline_total.giga_ops() == pytest.approx(149.5, rel=0.15)
+
+    def test_traffic_near_paper(self, baseline_total):
+        assert baseline_total.gigabytes() == pytest.approx(208.0, rel=0.15)
+
+    def test_arithmetic_intensity_near_paper(self, baseline_total):
+        assert baseline_total.arithmetic_intensity == pytest.approx(0.72, rel=0.1)
+
+    def test_ai_below_one(self, baseline_total):
+        """The headline observation: bootstrapping AI < 1 op/byte."""
+        assert baseline_total.arithmetic_intensity < 1.0
+
+
+class TestPhaseAccounting:
+    def test_phases_sum_to_total(self):
+        breakdown = BootstrapModel(BASELINE_JUNG).cost()
+        total = breakdown.total
+        summed = sum(
+            (c for c in breakdown.phases().values()),
+            start=type(total)(),
+        )
+        assert summed == total
+
+    def test_dft_phases_dominate_traffic(self):
+        breakdown = BootstrapModel(BASELINE_JUNG).cost()
+        dft = (
+            breakdown.coeff_to_slot.traffic.total
+            + breakdown.slot_to_coeff.traffic.total
+        )
+        assert dft > breakdown.mod_raise.traffic.total
+
+    def test_dft_diagonals_baseline(self):
+        # n^(1/fftIter) = (2^16)^(1/3) ~= 41.
+        assert BootstrapModel(BASELINE_JUNG).dft_diagonals == 41
+
+    def test_dft_diagonals_mad_optimal(self):
+        # (2^16)^(1/6) ~= 7.
+        assert BootstrapModel(MAD_OPTIMAL).dft_diagonals == 7
+
+    def test_unbootstrappable_params_rejected(self):
+        params = CkksParams(log_n=13, log_q=40, max_limbs=10, dnum=2)
+        with pytest.raises(ValueError):
+            BootstrapModel(params)
+
+
+class TestCachingLadder:
+    """Figure 2: cumulative DRAM reduction (paper: 15/22/44/52 %)."""
+
+    def test_monotone_reduction(self, baseline_total):
+        previous = baseline_total.traffic.total
+        for _, cfg in CACHING_LADDER[1:]:
+            current = BootstrapModel(BASELINE_JUNG, cfg).total_cost().traffic.total
+            assert current <= previous
+            previous = current
+
+    def test_ops_unchanged_across_ladder(self, baseline_total):
+        for _, cfg in CACHING_LADDER:
+            total = BootstrapModel(BASELINE_JUNG, cfg).total_cost()
+            assert total.ops == baseline_total.ops
+
+    def test_full_caching_reduction_in_paper_range(self, baseline_total):
+        final = BootstrapModel(
+            BASELINE_JUNG, MADConfig.caching_only()
+        ).total_cost()
+        reduction = 1 - final.traffic.total / baseline_total.traffic.total
+        # Paper reports 52%; accept the 35-60% band for our re-derivation.
+        assert 0.35 <= reduction <= 0.60
+
+    def test_key_reads_constant_across_caching(self, baseline_total):
+        """'The switching key reads remain constant for all of the caching
+        optimizations.'"""
+        for _, cfg in CACHING_LADDER:
+            total = BootstrapModel(BASELINE_JUNG, cfg).total_cost()
+            assert total.traffic.key_read == baseline_total.traffic.key_read
+
+
+class TestAlgorithmicLadder:
+    """Figure 3: merge -6% ops, hoisting -34% ops / +25% key reads,
+    compression -50% key reads."""
+
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        return {
+            name: BootstrapModel(BASELINE_JUNG, cfg).total_cost()
+            for name, cfg in ALGORITHMIC_LADDER
+        }
+
+    def test_merge_reduces_ops_about_six_percent(self, ladder):
+        base = ladder["Baseline (cached)"]
+        merged = ladder["ModDown Merge"]
+        reduction = 1 - merged.ops.total / base.ops.total
+        assert 0.03 <= reduction <= 0.10
+
+    def test_hoisting_reduces_ops_substantially(self, ladder):
+        merged = ladder["ModDown Merge"]
+        hoisted = ladder["ModDown Hoisting"]
+        reduction = 1 - hoisted.ops.total / merged.ops.total
+        assert 0.25 <= reduction <= 0.50
+
+    def test_hoisting_increases_key_reads_about_quarter(self, ladder):
+        merged = ladder["ModDown Merge"]
+        hoisted = ladder["ModDown Hoisting"]
+        increase = hoisted.traffic.key_read / merged.traffic.key_read - 1
+        assert 0.10 <= increase <= 0.40
+
+    def test_compression_halves_key_reads(self, ladder):
+        hoisted = ladder["ModDown Hoisting"]
+        compressed = ladder["Key Compression"]
+        assert compressed.traffic.key_read == pytest.approx(
+            hoisted.traffic.key_read / 2
+        )
+
+    def test_compression_leaves_ops_alone(self, ladder):
+        assert (
+            ladder["Key Compression"].ops == ladder["ModDown Hoisting"].ops
+        )
+
+
+class TestHeadlineClaims:
+    def test_ai_improves_at_least_2x_with_all_optimizations(self, baseline_total):
+        optimized = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+        ratio = optimized.arithmetic_intensity / baseline_total.arithmetic_intensity
+        # Paper claims 3x; our re-derivation achieves >2x.
+        assert ratio >= 2.0
+
+    def test_optimized_traffic_under_half_of_baseline(self, baseline_total):
+        optimized = BootstrapModel(MAD_OPTIMAL, MADConfig.all()).total_cost()
+        assert optimized.traffic.total < 0.5 * baseline_total.traffic.total
+
+    def test_cache_limits_respected(self):
+        # With only 6 MB, even MADConfig.all() cannot apply alpha caching.
+        small = BootstrapModel(
+            BASELINE_JUNG, MADConfig.all(), CacheModel.from_mb(6.5)
+        ).total_cost()
+        large = BootstrapModel(BASELINE_JUNG, MADConfig.all()).total_cost()
+        assert small.traffic.total > large.traffic.total

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import CacheModel
+
+
+class TestConstruction:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheModel(0)
+
+    def test_from_mb(self):
+        assert CacheModel.from_mb(32).size_bytes == 32 * 10**6
+        assert CacheModel.from_mb(32).megabytes == pytest.approx(32.0)
+
+
+class TestCapacity:
+    def test_limb_capacity_at_full_scale(self):
+        # One limb of an N=2^17 element is ~1.05 MB.
+        assert CacheModel.from_mb(32).capacity_limbs(BASELINE_JUNG) == 30
+
+    def test_tiny_cache_holds_nothing(self):
+        assert CacheModel.from_mb(0.5).capacity_limbs(BASELINE_JUNG) == 0
+
+
+class TestOptimizationThresholds:
+    """The paper's cache sizes: 1 MB (O(1)), 6 MB (O(beta)), 27 MB (O(alpha))."""
+
+    def test_one_mb_enables_o1_only(self):
+        cache = CacheModel.from_mb(1.1)
+        assert cache.fits_o1(BASELINE_JUNG)
+        assert not cache.fits_beta(BASELINE_JUNG)
+        assert not cache.fits_alpha(BASELINE_JUNG)
+
+    def test_six_mb_enables_beta(self):
+        cache = CacheModel.from_mb(6.5)
+        assert cache.fits_beta(BASELINE_JUNG)
+        assert not cache.fits_alpha(BASELINE_JUNG)
+
+    def test_27_mb_enables_alpha(self):
+        cache = CacheModel.from_mb(28.5)
+        assert cache.fits_alpha(BASELINE_JUNG)
+        assert cache.fits_limb_reorder(BASELINE_JUNG)
+
+    def test_alpha_threshold_is_alpha_plus_three_limbs(self):
+        # alpha = 12 at baseline parameters -> 15 limbs (~15.7 MB).
+        assert not CacheModel.from_mb(15).fits_alpha(BASELINE_JUNG)
+        assert CacheModel.from_mb(16).fits_alpha(BASELINE_JUNG)
+
+    def test_32_mb_enables_everything_baseline(self):
+        cache = CacheModel.from_mb(32)
+        assert cache.fits_o1(BASELINE_JUNG)
+        assert cache.fits_beta(BASELINE_JUNG)
+        assert cache.fits_alpha(BASELINE_JUNG)
+
+    def test_32_mb_supports_mad_optimal_alpha(self):
+        # alpha = 21 for the MAD-optimal set: 24 limbs fit in 32 MB, which
+        # is what makes the paper's 32 MB design point work.
+        assert CacheModel.from_mb(32).fits_alpha(MAD_OPTIMAL)
+        assert not CacheModel.from_mb(20).fits_alpha(MAD_OPTIMAL)
+
+    def test_whole_ciphertext_f1_regime(self):
+        from repro.params import CkksParams
+
+        small = CkksParams(log_n=14, log_q=32, max_limbs=16, dnum=4)
+        cache = CacheModel.from_mb(64)
+        assert cache.fits_whole_ciphertext(small, 16)
+        assert not cache.fits_whole_ciphertext(BASELINE_JUNG, 35)

@@ -1,0 +1,67 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf import CostReport, MemTraffic, OpCount
+
+
+class TestOpCount:
+    def test_total(self):
+        assert OpCount(mults=3, adds=4).total == 7
+
+    def test_addition(self):
+        combined = OpCount(1, 2) + OpCount(10, 20)
+        assert combined == OpCount(11, 22)
+
+    def test_scaling(self):
+        assert OpCount(3, 5).scaled(4) == OpCount(12, 20)
+
+    def test_scaling_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OpCount(1, 1).scaled(-1)
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9), st.integers(0, 100))
+    def test_scaling_matches_repeated_addition(self, m, a, k):
+        base = OpCount(m, a)
+        total = OpCount()
+        for _ in range(k):
+            total = total + base
+        assert total == base.scaled(k)
+
+
+class TestMemTraffic:
+    def test_total_sums_streams(self):
+        t = MemTraffic(ct_read=1, ct_write=2, key_read=4, pt_read=8)
+        assert t.total == 15
+
+    def test_addition_per_stream(self):
+        t = MemTraffic(1, 2, 3, 4) + MemTraffic(10, 20, 30, 40)
+        assert t == MemTraffic(11, 22, 33, 44)
+
+    def test_scaling(self):
+        assert MemTraffic(1, 2, 3, 4).scaled(2) == MemTraffic(2, 4, 6, 8)
+
+    def test_scaling_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemTraffic(1, 0, 0, 0).scaled(-2)
+
+
+class TestCostReport:
+    def test_addition_combines_both(self):
+        a = CostReport(OpCount(1, 1), MemTraffic(ct_read=10))
+        b = CostReport(OpCount(2, 2), MemTraffic(ct_write=20))
+        c = a + b
+        assert c.ops == OpCount(3, 3)
+        assert c.traffic == MemTraffic(ct_read=10, ct_write=20)
+
+    def test_arithmetic_intensity(self):
+        c = CostReport(OpCount(mults=50, adds=50), MemTraffic(ct_read=200))
+        assert c.arithmetic_intensity == pytest.approx(0.5)
+
+    def test_zero_traffic_edge_cases(self):
+        assert CostReport().arithmetic_intensity == 0.0
+        assert CostReport(OpCount(mults=1)).arithmetic_intensity == float("inf")
+
+    def test_unit_helpers(self):
+        c = CostReport(OpCount(mults=2 * 10**9), MemTraffic(ct_read=5 * 10**8))
+        assert c.giga_ops() == pytest.approx(2.0)
+        assert c.gigabytes() == pytest.approx(0.5)

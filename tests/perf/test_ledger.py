@@ -1,0 +1,84 @@
+import pytest
+
+from repro.params import BASELINE_JUNG
+from repro.perf import BootstrapModel, CostReport, MADConfig
+from repro.perf.events import MemTraffic, OpCount
+from repro.perf.ledger import CostLedger
+
+
+class TestCostLedger:
+    def test_total_sums_entries(self):
+        ledger = CostLedger()
+        ledger.add("a", CostReport(OpCount(mults=10), MemTraffic(ct_read=100)))
+        ledger.add("b", CostReport(OpCount(adds=5), MemTraffic(ct_write=50)))
+        assert ledger.total.ops.total == 15
+        assert ledger.total.traffic.total == 150
+        assert len(ledger) == 2
+
+    def test_by_label_merges(self):
+        ledger = CostLedger()
+        ledger.add("x", CostReport(OpCount(mults=1)))
+        ledger.add("x", CostReport(OpCount(mults=2)))
+        assert ledger.by_label()["x"].ops.mults == 3
+
+    def test_fractions(self):
+        ledger = CostLedger()
+        ledger.add("a", CostReport(OpCount(mults=30), MemTraffic(ct_read=10)))
+        ledger.add("b", CostReport(OpCount(mults=70), MemTraffic(ct_read=90)))
+        assert ledger.ops_fraction("a") == pytest.approx(0.3)
+        assert ledger.traffic_fraction("b") == pytest.approx(0.9)
+
+    def test_unknown_label_raises(self):
+        ledger = CostLedger()
+        ledger.add("a", CostReport(OpCount(mults=1), MemTraffic(ct_read=1)))
+        with pytest.raises(KeyError):
+            ledger.traffic_fraction("zzz")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().add("", CostReport())
+
+    def test_render_contains_labels_and_total(self):
+        ledger = CostLedger()
+        ledger.add("widget", CostReport(OpCount(mults=10**9)))
+        text = ledger.render()
+        assert "widget" in text and "Total" in text
+
+
+class TestBootstrapLedger:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        return BootstrapModel(BASELINE_JUNG, MADConfig.none()).ledger()
+
+    def test_matches_total_cost(self, ledger):
+        total = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+        assert ledger.total == total
+
+    def test_expected_components(self, ledger):
+        labels = set(ledger.by_label())
+        assert labels == {
+            "ModRaise",
+            "CoeffToSlot",
+            "EvalMod:Mult",
+            "EvalMod:PtMult",
+            "EvalMod:Add",
+            "SlotToCoeff",
+        }
+
+    def test_entry_count(self, ledger):
+        # 1 ModRaise + fftIter C2S + 3 per EvalMod level + fftIter S2C.
+        p = BASELINE_JUNG
+        assert len(ledger) == 1 + p.fft_iter + 3 * p.eval_mod_depth + p.fft_iter
+
+    def test_dft_and_evalmod_dominate(self, ledger):
+        assert ledger.traffic_fraction("ModRaise") < 0.01
+        dft = ledger.traffic_fraction("CoeffToSlot") + ledger.traffic_fraction(
+            "SlotToCoeff"
+        )
+        assert dft > 0.4
+
+    def test_fractions_sum_to_one(self, ledger):
+        total = sum(
+            ledger.traffic_fraction(label) for label in ledger.by_label()
+        )
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.params import BASELINE_JUNG
+from repro.perf import MADConfig, PrimitiveCosts, pt_mat_vec_mult_cost
+from repro.perf.matvec import bsgs_split
+
+
+class TestBsgsSplit:
+    def test_covers_all_diagonals(self):
+        for diagonals in (1, 2, 7, 41, 100, 256):
+            baby, giant = bsgs_split(diagonals)
+            assert baby * giant >= diagonals
+
+    def test_balanced_near_sqrt(self):
+        baby, giant = bsgs_split(41)
+        assert baby == 8
+        assert giant == 6
+
+    def test_larger_baby_doubles(self):
+        baby, _ = bsgs_split(41, larger_baby=True)
+        assert baby == 16
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bsgs_split(0)
+
+
+class TestMatVecCost:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return PrimitiveCosts(BASELINE_JUNG, MADConfig.none())
+
+    def test_scales_with_diagonals(self, baseline):
+        small = pt_mat_vec_mult_cost(baseline, 35, 8)
+        large = pt_mat_vec_mult_cost(baseline, 35, 64)
+        assert large.ops.total > small.ops.total
+        assert large.traffic.total > small.traffic.total
+
+    def test_hoisting_reduces_ops(self):
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.caching_only())
+        hoisted = PrimitiveCosts(
+            BASELINE_JUNG, MADConfig.caching_only().with_(mod_down_hoist=True)
+        )
+        cost_base = pt_mat_vec_mult_cost(base, 35, 41)
+        cost_hoist = pt_mat_vec_mult_cost(hoisted, 35, 41)
+        assert cost_hoist.ops.total < cost_base.ops.total
+
+    def test_hoisting_increases_key_reads(self):
+        """The larger baby step re-reads switching keys more often (+25%)."""
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.caching_only())
+        hoisted = PrimitiveCosts(
+            BASELINE_JUNG, MADConfig.caching_only().with_(mod_down_hoist=True)
+        )
+        key_base = pt_mat_vec_mult_cost(base, 35, 41).traffic.key_read
+        key_hoist = pt_mat_vec_mult_cost(hoisted, 35, 41).traffic.key_read
+        assert key_hoist > key_base
+        assert key_hoist / key_base < 1.8
+
+    def test_hoisting_reduces_ct_traffic(self):
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.caching_only())
+        hoisted = PrimitiveCosts(
+            BASELINE_JUNG, MADConfig.caching_only().with_(mod_down_hoist=True)
+        )
+        t_base = pt_mat_vec_mult_cost(base, 35, 41).traffic
+        t_hoist = pt_mat_vec_mult_cost(hoisted, 35, 41).traffic
+        assert (
+            t_hoist.ct_read + t_hoist.ct_write
+            < t_base.ct_read + t_base.ct_write
+        )
+
+    def test_beta_cache_reduces_reads_only(self):
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig(cache_o1=True))
+        beta = PrimitiveCosts(
+            BASELINE_JUNG, MADConfig(cache_o1=True, cache_beta=True)
+        )
+        t_base = pt_mat_vec_mult_cost(base, 35, 41).traffic
+        t_beta = pt_mat_vec_mult_cost(beta, 35, 41).traffic
+        assert t_beta.ct_read < t_base.ct_read
+        assert t_beta.ct_write == t_base.ct_write
+        assert t_beta.key_read == t_base.key_read
+
+    def test_caching_preserves_ops(self):
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.none())
+        cached = PrimitiveCosts(BASELINE_JUNG, MADConfig.caching_only())
+        assert (
+            pt_mat_vec_mult_cost(cached, 35, 41).ops
+            == pt_mat_vec_mult_cost(base, 35, 41).ops
+        )
+
+    def test_plaintext_reads_proportional_to_diagonals(self, baseline):
+        limb = BASELINE_JUNG.limb_bytes
+        cost = pt_mat_vec_mult_cost(baseline, 35, 41)
+        assert cost.traffic.pt_read == 41 * 35 * limb

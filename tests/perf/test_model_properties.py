@@ -1,0 +1,112 @@
+"""Property-based invariants of the performance model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.params import BASELINE_JUNG, CkksParams
+from repro.perf import BootstrapModel, MADConfig, PrimitiveCosts
+
+_CACHING_FLAGS = ("cache_o1", "cache_beta", "cache_alpha")
+_ALGO_FLAGS = ("mod_down_merge", "mod_down_hoist", "key_compression")
+
+
+def _config(bits):
+    flags = dict(zip(_CACHING_FLAGS + _ALGO_FLAGS, bits))
+    flags["limb_reorder"] = flags["cache_alpha"] and bits[-1]
+    # limb_reorder rides with cache_alpha; reuse the last bit for variety.
+    return MADConfig(**flags)
+
+
+_config_strategy = st.lists(st.booleans(), min_size=6, max_size=6).map(_config)
+_limb_strategy = st.integers(2, 35)
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(limbs=st.integers(2, 34), config=_config_strategy)
+    def test_costs_increase_with_limbs(self, limbs, config):
+        costs = PrimitiveCosts(BASELINE_JUNG, config)
+        for op in ("add", "pt_mult", "rotate", "mult"):
+            lo = getattr(costs, op)(limbs)
+            hi = getattr(costs, op)(limbs + 1)
+            assert hi.ops.total >= lo.ops.total
+            assert hi.traffic.total >= lo.traffic.total
+
+    @settings(max_examples=25, deadline=None)
+    @given(limbs=_limb_strategy, config=_config_strategy)
+    def test_traffic_never_negative(self, limbs, config):
+        costs = PrimitiveCosts(BASELINE_JUNG, config)
+        for op in ("pt_add", "add", "pt_mult", "decomp", "rotate", "mult"):
+            traffic = getattr(costs, op)(limbs).traffic
+            assert traffic.ct_read >= 0
+            assert traffic.ct_write >= 0
+            assert traffic.key_read >= 0
+            assert traffic.pt_read >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(limbs=_limb_strategy, bits=st.lists(st.booleans(), min_size=3, max_size=3))
+    def test_caching_flags_never_increase_traffic(self, limbs, bits):
+        flags = dict(zip(_CACHING_FLAGS, bits))
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.none())
+        cached = PrimitiveCosts(BASELINE_JUNG, MADConfig(**flags))
+        for op in ("pt_mult", "rotate", "mult"):
+            assert (
+                getattr(cached, op)(limbs).traffic.total
+                <= getattr(base, op)(limbs).traffic.total
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(limbs=_limb_strategy, bits=st.lists(st.booleans(), min_size=3, max_size=3))
+    def test_caching_flags_preserve_ops(self, limbs, bits):
+        flags = dict(zip(_CACHING_FLAGS, bits))
+        base = PrimitiveCosts(BASELINE_JUNG, MADConfig.none())
+        cached = PrimitiveCosts(BASELINE_JUNG, MADConfig(**flags))
+        for op in ("pt_add", "add", "pt_mult", "rotate"):
+            assert getattr(cached, op)(limbs).ops == getattr(base, op)(limbs).ops
+
+
+class TestBootstrapInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(config=_config_strategy)
+    def test_phases_sum_to_total(self, config):
+        breakdown = BootstrapModel(BASELINE_JUNG, config).cost()
+        summed_ops = sum(c.ops.total for c in breakdown.phases().values())
+        assert summed_ops == breakdown.total.ops.total
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        max_limbs=st.integers(25, 42),
+        dnum=st.integers(2, 4),
+    )
+    def test_bootstrap_cost_scales_with_chain_length(self, max_limbs, dnum):
+        def total(limbs):
+            params = CkksParams(
+                log_n=17, log_q=50, max_limbs=limbs, dnum=dnum, fft_iter=3
+            )
+            return BootstrapModel(params).total_cost()
+
+        lo = total(max_limbs)
+        hi = total(max_limbs + 2)
+        assert hi.ops.total > lo.ops.total
+        assert hi.traffic.total > lo.traffic.total
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=_config_strategy)
+    def test_key_compression_exactly_halves_keys(self, config):
+        if config.key_compression:
+            config = config.with_(key_compression=False)
+        with_compression = config.with_(key_compression=True)
+        base = BootstrapModel(BASELINE_JUNG, config).total_cost()
+        compressed = BootstrapModel(BASELINE_JUNG, with_compression).total_cost()
+        assert compressed.traffic.key_read * 2 == base.traffic.key_read
+        assert compressed.ops == base.ops
+
+
+class TestCostReportAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(limbs=_limb_strategy, k=st.integers(0, 10))
+    def test_scaling_matches_repetition(self, limbs, k):
+        cost = PrimitiveCosts(BASELINE_JUNG).rotate(limbs)
+        repeated = cost.scaled(k)
+        assert repeated.ops.total == cost.ops.total * k
+        assert repeated.traffic.total == cost.traffic.total * k

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.hardware import ARK, BTS, F1, GPU_JUNG
+from repro.report.figures import _unpacked_penalty, generate_fig6_series
+from repro.apps import helr_training
+
+
+class TestUnpackedPenalty:
+    def test_packed_designs_have_no_penalty(self):
+        for design in (GPU_JUNG, BTS, ARK):
+            assert _unpacked_penalty(design) == 1
+
+    def test_f1_pays_per_slot(self):
+        # F1 bootstraps one element at a time; refreshing its n=2^13 packed
+        # working set costs 2^13 invocations.
+        assert _unpacked_penalty(F1) == 2**13
+
+
+class TestOriginalDesignModeling:
+    def test_original_uses_its_own_cache_capabilities(self):
+        """A 512 MB design's 'original' bar must benefit from caching —
+        otherwise the comparison against MAD is a strawman."""
+        bars_big = generate_fig6_series(
+            BTS, lambda p: helr_training(p, iterations=6), cache_sizes_mb=(32,)
+        )
+        small_bts = BTS.with_memory(1.5)
+        bars_small = generate_fig6_series(
+            small_bts, lambda p: helr_training(p, iterations=6), cache_sizes_mb=(32,)
+        )
+        # Same workload and bandwidth: the 512 MB original must be faster
+        # than a 1.5 MB original.
+        assert bars_big[0].seconds < bars_small[0].seconds
+
+    def test_mad_bars_use_requested_cache_sizes(self):
+        bars = generate_fig6_series(
+            GPU_JUNG,
+            lambda p: helr_training(p, iterations=6),
+            cache_sizes_mb=(6, 32),
+        )
+        assert len(bars) == 3
+        assert "MAD-6" in bars[1].label
+        assert "MAD-32" in bars[2].label
+
+    def test_speedups_relative_to_first_bar(self):
+        bars = generate_fig6_series(
+            GPU_JUNG,
+            lambda p: helr_training(p, iterations=6),
+            cache_sizes_mb=(32,),
+        )
+        assert bars[0].speedup_vs_original == 1.0
+        assert bars[1].speedup_vs_original == pytest.approx(
+            bars[0].seconds / bars[1].seconds
+        )

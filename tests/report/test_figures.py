@@ -1,0 +1,98 @@
+import pytest
+
+from repro.hardware import BTS, CRATERLAKE, GPU_JUNG
+from repro.report import (
+    generate_fig1,
+    generate_fig2,
+    generate_fig3,
+    generate_fig6_lr,
+    generate_fig6_resnet,
+    render_series,
+)
+
+
+class TestFig1:
+    def test_o1_reduces_transfers(self):
+        data = generate_fig1()
+        assert data["cached_reads"] < data["naive_reads"]
+        assert data["cached_writes"] < data["naive_writes"]
+
+    def test_savings_exceed_paper_example(self):
+        # Paper: O(1) caching avoids >= 124 MB per Rotate at 35 limbs.
+        data = generate_fig1()
+        assert data["saved_mb"] >= 124
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return generate_fig2()
+
+    def test_five_ladder_points(self, points):
+        assert len(points) == 5
+        assert points[0].label == "Baseline"
+
+    def test_monotone_dram_reduction(self, points):
+        values = [p.dram_gb for p in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_key_reads_constant(self, points):
+        first = points[0].key_read_gb
+        for p in points:
+            assert p.key_read_gb == pytest.approx(first)
+
+    def test_final_reduction_in_paper_band(self, points):
+        assert 0.35 <= points[-1].reduction_vs_baseline <= 0.60
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return generate_fig3()
+
+    def test_four_ladder_points(self, points):
+        assert len(points) == 4
+
+    def test_merge_and_hoist_reduce_ops(self, points):
+        ops = [p.giga_ops for p in points]
+        assert ops[1] < ops[0]  # ModDown merge
+        assert ops[2] < ops[1]  # ModDown hoisting
+
+    def test_compression_halves_key_reads(self, points):
+        assert points[3].key_read_gb == pytest.approx(
+            points[2].key_read_gb / 2
+        )
+
+    def test_hoisting_raises_key_reads_at_baseline_params(self):
+        # The +25% key-read trade shows up with large DFT stage matrices
+        # (41 diagonals at fftIter=3); the MAD-optimal set's 7-diagonal
+        # stages leave the BSGS split unchanged.
+        from repro.params import BASELINE_JUNG
+
+        points = generate_fig3(BASELINE_JUNG)
+        assert points[2].key_read_gb > points[1].key_read_gb
+
+
+class TestFig6:
+    def test_gpu_lr_series(self):
+        bars = generate_fig6_lr(GPU_JUNG, cache_sizes_mb=(6, 32))
+        assert len(bars) == 3
+        original, mad6, mad32 = bars
+        assert original.speedup_vs_original == 1.0
+        # Paper: GPU+MAD-6 ~3.5x, GPU+MAD-32 ~17x; our model must at least
+        # show substantial, cache-monotone speedups.
+        assert mad6.speedup_vs_original > 1.2
+        assert mad32.speedup_vs_original >= mad6.speedup_vs_original
+
+    def test_craterlake_resnet_series(self):
+        bars = generate_fig6_resnet(CRATERLAKE, cache_sizes_mb=(32, 256))
+        assert bars[1].speedup_vs_original > 1.0
+
+    def test_bts_resnet_improves(self):
+        bars = generate_fig6_resnet(BTS, cache_sizes_mb=(32, 256, 512))
+        assert all(b.speedup_vs_original > 1.0 for b in bars[1:])
+
+    def test_render_series(self):
+        bars = generate_fig6_lr(GPU_JUNG, cache_sizes_mb=(32,))
+        text = render_series("LR training", bars)
+        assert "LR training" in text

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import MADConfig
+from repro.report import (
+    generate_table4,
+    generate_table5,
+    generate_table6,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return generate_table4()
+
+    def test_all_operations_present(self, rows):
+        names = [r.operation for r in rows]
+        for expected in (
+            "PtAdd",
+            "Add",
+            "PtMult",
+            "Decomp",
+            "ModUp",
+            "KSKInnerProd",
+            "ModDown",
+            "Mult",
+            "Automorph",
+            "Rotate",
+            "Conjugate",
+            "Bootstrap",
+        ):
+            assert expected in names
+
+    def test_all_primitives_have_low_ai(self, rows):
+        """The table's headline: every primitive has AI < 2 op/byte."""
+        for row in rows:
+            assert row.arithmetic_intensity < 2.0
+
+    def test_bootstrap_row_dominates(self, rows):
+        by_name = {r.operation: r for r in rows}
+        assert by_name["Bootstrap"].giga_ops > 50 * by_name["Mult"].giga_ops
+
+    def test_render_contains_rows(self, rows):
+        text = render_table4(rows)
+        assert "Rotate" in text and "Bootstrap" in text
+
+    def test_optimized_table_has_less_traffic(self, rows):
+        optimized = generate_table4(config=MADConfig.caching_only())
+        base_by_name = {r.operation: r for r in rows}
+        for row in optimized:
+            assert row.dram_gb <= base_by_name[row.operation].dram_gb + 1e-9
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.search import enumerate_parameter_space
+
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(50, 54),
+                max_limbs_choices=(35, 40),
+                dnum_choices=(2, 3),
+                fft_iter_choices=(3, 6),
+            )
+        )
+        return generate_table5(candidates=candidates)
+
+    def test_baseline_entry(self, table):
+        assert table["baseline"] == BASELINE_JUNG
+        assert table["paper_optimal"] == MAD_OPTIMAL
+
+    def test_search_beats_baseline_throughput(self, table):
+        assert table["searched"].params != BASELINE_JUNG
+
+    def test_render(self, table):
+        text = render_table5(table)
+        assert "Baseline" in text and "Search optimal" in text
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return generate_table6()
+
+    def test_ten_rows_five_pairs(self, rows):
+        assert len(rows) == 10
+        assert sum(1 for r in rows if r.source == "reported") == 5
+        assert sum(1 for r in rows if r.source == "modeled") == 5
+
+    def test_mad_rows_use_32_mb(self, rows):
+        for row in rows:
+            if row.source == "modeled":
+                assert row.on_chip_mb == 32
+
+    def test_mad_beats_gpu(self, rows):
+        by_name = {r.design: r for r in rows}
+        gpu = by_name["GPU [Jung et al.]"]
+        mad = by_name["GPU [Jung et al.]+MAD-32"]
+        assert mad.throughput > 3 * gpu.throughput
+
+    def test_mad_beats_f1_by_orders_of_magnitude(self, rows):
+        by_name = {r.design: r for r in rows}
+        assert by_name["F1+MAD-32"].throughput > 1000 * by_name["F1"].throughput
+
+    def test_large_memory_asics_lose_throughput_with_small_mad(self, rows):
+        """BTS/ARK/CraterLake at 32 MB trade throughput for 8-16x less
+        on-chip memory (the paper's cost argument)."""
+        by_name = {r.design: r for r in rows}
+        for name in ("BTS", "ARK", "CraterLake"):
+            assert by_name[f"{name}+MAD-32"].throughput < by_name[name].throughput
+
+    def test_reported_throughputs_match_paper(self, rows):
+        by_name = {r.design: r for r in rows}
+        assert by_name["BTS"].throughput == pytest.approx(2667, rel=0.05)
+        assert by_name["ARK"].throughput == pytest.approx(6896, rel=0.05)
+        assert by_name["CraterLake"].throughput == pytest.approx(10465, rel=0.05)
+        assert by_name["GPU [Jung et al.]"].throughput == pytest.approx(409, rel=0.05)
+
+    def test_render(self, rows):
+        text = render_table6(rows)
+        assert "CraterLake" in text and "MAD-32" in text

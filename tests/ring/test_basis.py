@@ -1,0 +1,91 @@
+import pytest
+
+from repro.numth import find_ntt_primes
+from repro.ring import RnsBasis
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis.generate(16, 30, 4)
+
+
+class TestConstruction:
+    def test_generate_produces_distinct_ntt_primes(self, basis):
+        assert len(set(basis.moduli)) == 4
+        for q in basis:
+            assert q % 32 == 1
+
+    def test_rejects_non_power_of_two_degree(self):
+        primes = find_ntt_primes(30, 16, 1)
+        with pytest.raises(ValueError):
+            RnsBasis(12, primes)
+
+    def test_rejects_duplicate_moduli(self):
+        q = find_ntt_primes(30, 16, 1)[0]
+        with pytest.raises(ValueError):
+            RnsBasis(16, [q, q])
+
+    def test_rejects_incompatible_modulus(self):
+        with pytest.raises(ValueError):
+            RnsBasis(16, [113])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RnsBasis(16, [])
+
+    def test_equality_and_hash(self, basis):
+        same = RnsBasis(16, basis.moduli)
+        assert same == basis
+        assert hash(same) == hash(basis)
+
+    def test_exclude_in_generate(self, basis):
+        other = RnsBasis.generate(16, 30, 2, exclude=basis.moduli)
+        assert not set(other.moduli) & set(basis.moduli)
+
+
+class TestDerivedBases:
+    def test_prefix(self, basis):
+        sub = basis.prefix(2)
+        assert sub.moduli == basis.moduli[:2]
+
+    def test_drop_last(self, basis):
+        assert basis.drop_last().moduli == basis.moduli[:-1]
+        assert basis.drop_last(2).moduli == basis.moduli[:-2]
+
+    def test_drop_everything_rejected(self, basis):
+        with pytest.raises(ValueError):
+            basis.drop_last(4)
+
+    def test_extended(self, basis):
+        extra = find_ntt_primes(30, 16, 2, exclude=basis.moduli)
+        merged = basis.extended(extra)
+        assert merged.moduli == basis.moduli + tuple(extra)
+
+    def test_prefix_bounds(self, basis):
+        with pytest.raises(ValueError):
+            basis.prefix(0)
+        with pytest.raises(ValueError):
+            basis.prefix(5)
+
+
+class TestPrecomputations:
+    def test_modulus_is_product(self, basis):
+        product = 1
+        for q in basis:
+            product *= q
+        assert basis.modulus == product
+
+    def test_q_hat_inverses(self, basis):
+        total = basis.modulus
+        for q, inv in zip(basis, basis.q_hat_inverses()):
+            assert (total // q) * inv % q == 1
+
+    def test_q_stars_mod(self, basis):
+        total = basis.modulus
+        target = 97
+        for q, star in zip(basis, basis.q_stars_mod(target)):
+            assert star == (total // q) % target
+
+    def test_ntt_contexts_are_cached(self, basis):
+        assert basis.ntt(0) is basis.ntt(0)
+        assert basis.ntt(0).q == basis.moduli[0]

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import MADConfig
+from repro.hardware import GPU_JUNG, mad_counterpart
+from repro.search import find_optimal_parameters
+
+
+@pytest.fixture(scope="module")
+def gpu_results():
+    """Search over a focused grid around the paper's Table 5 sets."""
+    from repro.search import enumerate_parameter_space
+
+    candidates = list(
+        enumerate_parameter_space(
+            log_q_choices=(50, 54, 58),
+            max_limbs_choices=(30, 35, 40),
+            dnum_choices=(1, 2, 3, 4),
+            fft_iter_choices=(3, 6),
+        )
+    )
+    return find_optimal_parameters(
+        mad_counterpart(GPU_JUNG), candidates=candidates, top=len(candidates)
+    )
+
+
+class TestOptimizer:
+    def test_results_sorted_by_throughput(self, gpu_results):
+        throughputs = [r.throughput for r in gpu_results]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_optimum_prefers_small_dnum(self, gpu_results):
+        """Table 5: the memory-aware optimum uses dnum=2 (vs baseline 3)."""
+        assert gpu_results[0].params.dnum <= 2
+
+    def test_optimum_beats_baseline_parameters(self, gpu_results):
+        by_params = {r.params: r for r in gpu_results}
+        best = gpu_results[0]
+        baseline = by_params[BASELINE_JUNG]
+        assert best.throughput > baseline.throughput
+
+    def test_paper_optimum_ranks_above_baseline(self, gpu_results):
+        by_params = {r.params: r for r in gpu_results}
+        assert (
+            by_params[MAD_OPTIMAL].throughput
+            > by_params[BASELINE_JUNG].throughput
+        )
+
+    def test_top_limits_results(self):
+        from repro.search import enumerate_parameter_space
+
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(50,),
+                max_limbs_choices=(35, 40),
+                dnum_choices=(2, 3),
+                fft_iter_choices=(3, 6),
+            )
+        )
+        results = find_optimal_parameters(
+            mad_counterpart(GPU_JUNG), candidates=candidates, top=3
+        )
+        assert len(results) == 3
+
+    def test_describe_mentions_bound(self, gpu_results):
+        text = gpu_results[0].describe()
+        assert "bound" in text and "throughput" in text
+
+    def test_runtime_positive(self, gpu_results):
+        for result in gpu_results:
+            assert result.runtime.seconds > 0
+            assert result.cost.ops.total > 0

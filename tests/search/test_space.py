@@ -1,0 +1,67 @@
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.search import enumerate_parameter_space
+
+
+class TestParameterSpace:
+    def test_all_candidates_secure_and_bootstrappable(self):
+        for params in enumerate_parameter_space(
+            log_q_choices=(50, 54),
+            max_limbs_choices=(35, 40),
+            dnum_choices=(2, 3),
+            fft_iter_choices=(3, 6),
+        ):
+            assert params.is_128_bit_secure()
+            assert params.supports_bootstrapping()
+            assert params.log_q1 >= 400
+
+    def test_paper_optimum_is_in_the_space(self):
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(50,),
+                max_limbs_choices=(40,),
+                dnum_choices=(2,),
+                fft_iter_choices=(6,),
+            )
+        )
+        assert MAD_OPTIMAL in candidates
+
+    def test_baseline_is_in_the_space(self):
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(54,),
+                max_limbs_choices=(35,),
+                dnum_choices=(3,),
+                fft_iter_choices=(3,),
+            )
+        )
+        assert BASELINE_JUNG in candidates
+
+    def test_insecure_combinations_pruned(self):
+        # 60-bit limbs at L=45 with dnum=1 exceed the security bound.
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(60,),
+                max_limbs_choices=(45,),
+                dnum_choices=(1,),
+                fft_iter_choices=(3,),
+            )
+        )
+        assert candidates == []
+
+    def test_min_log_q1_prunes_shallow_sets(self):
+        candidates = list(
+            enumerate_parameter_space(
+                log_q_choices=(50,),
+                max_limbs_choices=(24,),
+                dnum_choices=(3,),
+                fft_iter_choices=(3, 6),
+                min_log_q1=400,
+            )
+        )
+        # L=24 with fftIter=6 leaves 3 limbs = 150 bits < 400: pruned.
+        assert all(p.fft_iter == 3 for p in candidates)
+
+    def test_space_is_reasonably_small(self):
+        """Security pruning keeps brute force tractable (paper: minutes)."""
+        count = sum(1 for _ in enumerate_parameter_space())
+        assert 0 < count < 10_000

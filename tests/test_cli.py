@@ -1,0 +1,71 @@
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCommands:
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Rotate" in out and "Bootstrap" in out
+
+    def test_table4_optimized_config(self, capsys):
+        assert main(["table4", "--params", "optimal", "--config", "all"]) == 0
+        assert "Bootstrap" in capsys.readouterr().out
+
+    def test_table5_quick(self, capsys):
+        assert main(["table5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "Search optimal" in out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "CraterLake" in out and "MAD-32" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "saved" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Limb Re-order" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--params", "baseline"]) == 0
+        assert "Key Compression" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--workload", "resnet", "--design", "BTS",
+                     "--caches", "32"]) == 0
+        assert "BTS" in capsys.readouterr().out
+
+    def test_bootstrap_breakdown(self, capsys):
+        assert main(["bootstrap", "--params", "optimal", "--config", "all",
+                     "--cache-mb", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "CoeffToSlot" in out and "Total" in out
+
+    def test_search_quick(self, capsys):
+        assert main(["search", "--quick", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#") == 2
+
+    def test_ledger(self, capsys):
+        assert main(["ledger", "--params", "optimal", "--config", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "EvalMod:Mult" in out and "Total" in out
+
+    def test_balance(self, capsys):
+        assert main(["balance"]) == 0
+        out = capsys.readouterr().out
+        assert "MAD-32" in out and "balance" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
