@@ -1,0 +1,50 @@
+"""Observability overhead — the disabled path must cost ~nothing.
+
+Instrumented model code runs through :mod:`repro.obs.state` on every call;
+when no tracer is installed each hook is a boolean test or a no-op method
+on a shared singleton.  These benchmarks pin the disabled-path cost of the
+bootstrap ledger (the most heavily instrumented code path) and record the
+enabled-path cost next to it for comparison in ``extra_info``.
+"""
+
+import pytest
+
+from repro.obs import state
+from repro.params import BASELINE_JUNG
+from repro.perf import BootstrapModel, MADConfig
+
+
+def build_ledger():
+    return BootstrapModel(BASELINE_JUNG, MADConfig.none()).ledger()
+
+
+@pytest.mark.repro("obs overhead (disabled)")
+def test_ledger_with_tracing_disabled(benchmark):
+    assert not state.tracing_enabled()
+    ledger = benchmark(build_ledger)
+    benchmark.extra_info["entries"] = len(ledger)
+    benchmark.extra_info["tracing"] = "disabled"
+
+
+@pytest.mark.repro("obs overhead (enabled)")
+def test_ledger_with_tracing_enabled(benchmark):
+    def traced():
+        with state.capture():
+            return build_ledger()
+
+    ledger = benchmark(traced)
+    benchmark.extra_info["entries"] = len(ledger)
+    benchmark.extra_info["tracing"] = "enabled"
+
+
+@pytest.mark.repro("obs overhead (null hooks)")
+def test_null_hooks_are_cheap(benchmark):
+    """Ten thousand disabled span/count pairs should cost milliseconds."""
+
+    def hammer(iterations=10_000):
+        for _ in range(iterations):
+            with state.span("noop", level=1):
+                pass
+            state.count("noop")
+
+    benchmark(hammer)

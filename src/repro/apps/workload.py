@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import state as obs
 from repro.params import CkksParams
 from repro.perf import BootstrapModel, CacheModel, MADConfig, PrimitiveCosts
 from repro.perf.events import CostReport
@@ -78,19 +79,48 @@ def workload_cost(
     config: MADConfig = MADConfig.none(),
     cache: Optional[CacheModel] = None,
 ) -> WorkloadCost:
-    """Evaluate a workload under a parameter set and optimization config."""
+    """Evaluate a workload under a parameter set and optimization config.
+
+    When a tracer is installed (:mod:`repro.obs`) the call emits a span
+    tree: one span per operation class under ``Compute``, and — under
+    ``Bootstraps`` — the full per-phase span tree of one bootstrap plus a
+    ``Bootstrap (repeats)`` span carrying the remaining invocations, so
+    the traced span-cost sum equals the returned total exactly.
+    """
     costs = PrimitiveCosts(params, config, cache)
     level = max(2, round(params.max_limbs * workload.level_fraction))
-    compute = CostReport()
-    compute = compute + costs.mult(level).scaled(workload.mults)
-    compute = compute + costs.pt_mult(level).scaled(workload.pt_mults)
-    compute = compute + costs.rotate(level).scaled(workload.rotates)
-    compute = compute + costs.conjugate(level).scaled(workload.conjugates)
-    compute = compute + costs.add(level).scaled(workload.adds)
-    compute = compute + costs.pt_add(level).scaled(workload.pt_adds)
+    with obs.span("Workload", name=workload.name, level=level):
+        compute = CostReport()
+        op_units = [
+            ("Mult", costs.mult, workload.mults),
+            ("PtMult", costs.pt_mult, workload.pt_mults),
+            ("Rotate", costs.rotate, workload.rotates),
+            ("Conjugate", costs.conjugate, workload.conjugates),
+            ("Add", costs.add, workload.adds),
+            ("PtAdd", costs.pt_add, workload.pt_adds),
+        ]
+        with obs.span("Compute"):
+            for op_name, unit_cost, invocations in op_units:
+                cost = unit_cost(level).scaled(invocations)
+                if invocations:
+                    with obs.span(op_name, count=invocations, level=level):
+                        obs.record_cost(cost)
+                compute = compute + cost
 
-    bootstrap = CostReport()
-    if workload.bootstraps:
-        model = BootstrapModel(params, config, cache)
-        bootstrap = model.total_cost().scaled(workload.bootstraps)
+        bootstrap = CostReport()
+        if workload.bootstraps:
+            model = BootstrapModel(params, config, cache)
+            with obs.span("Bootstraps", invocations=workload.bootstraps):
+                # total_cost() traces one bootstrap's phase tree itself;
+                # the remaining invocations go into one scaled span so the
+                # traced sum still matches the returned total exactly.
+                single = model.total_cost()
+                if workload.bootstraps > 1:
+                    with obs.span(
+                        "Bootstrap (repeats)", count=workload.bootstraps - 1
+                    ):
+                        obs.record_cost(
+                            single.scaled(workload.bootstraps - 1)
+                        )
+                bootstrap = single.scaled(workload.bootstraps)
     return WorkloadCost(compute=compute, bootstrap=bootstrap)

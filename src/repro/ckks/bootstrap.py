@@ -26,6 +26,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import state as obs
 from repro.ring import RnsPolynomial
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.context import CkksContext
@@ -292,16 +293,31 @@ class Bootstrapper:
         Returns a ciphertext at a high level encrypting the same message
         (scale bookkeeping is adjusted so decryption needs no external
         correction).
-        """
-        input_scale = ct.scale
-        raised = self.mod_raise(ct)
-        q1 = float(self.context.q_basis.moduli[0])
 
-        u_real, u_imag = self.coeff_to_slot(raised, method=method)
-        v_real = self.eval_mod(u_real)
-        v_imag = self.eval_mod(u_imag, factor=1j)
-        packed = self.evaluator.add(v_real, v_imag)
-        out = self.slot_to_coeff(packed, method=method)
-        # The pipeline computed values (Delta_in/q_1) * m; fold the factor
-        # into the declared scale.
-        return Ciphertext(out.c0, out.c1, out.scale * input_scale / q1)
+        When a tracer is installed (:mod:`repro.obs`) the four pipeline
+        phases are emitted as nested wall-clock spans — the functional
+        counterpart of the analytical span tree the performance model
+        produces.
+        """
+        with obs.span(
+            "ckks.Bootstrap",
+            slots=self.context.slots,
+            limbs=self.context.max_limbs,
+            method=method,
+        ):
+            input_scale = ct.scale
+            with obs.span("ModRaise"):
+                raised = self.mod_raise(ct)
+            q1 = float(self.context.q_basis.moduli[0])
+
+            with obs.span("CoeffToSlot"):
+                u_real, u_imag = self.coeff_to_slot(raised, method=method)
+            with obs.span("EvalMod"):
+                v_real = self.eval_mod(u_real)
+                v_imag = self.eval_mod(u_imag, factor=1j)
+                packed = self.evaluator.add(v_real, v_imag)
+            with obs.span("SlotToCoeff"):
+                out = self.slot_to_coeff(packed, method=method)
+            # The pipeline computed values (Delta_in/q_1) * m; fold the
+            # factor into the declared scale.
+            return Ciphertext(out.c0, out.c1, out.scale * input_scale / q1)

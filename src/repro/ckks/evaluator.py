@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import state as obs
 from repro.ring import (
     Representation,
     RnsBasis,
@@ -72,6 +73,7 @@ class Evaluator:
     # ==================================================================
     def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         """Homomorphic addition of two ciphertexts."""
+        obs.count("ckks.evaluator.add")
         ct1, ct2 = self.align_levels(ct1, ct2)
         self._check_scales(ct1.scale, ct2.scale)
         return Ciphertext(ct1.c0 + ct2.c0, ct1.c1 + ct2.c1, ct1.scale)
@@ -103,6 +105,7 @@ class Evaluator:
         rescale: bool = True,
     ) -> Ciphertext:
         """Multiply by a plaintext vector; includes the Rescale of Table 2."""
+        obs.count("ckks.evaluator.pt_mult")
         pt = self._as_plaintext(values, scale=self.context.scale)
         pt_poly = pt.to_poly(ct.basis)
         product = Ciphertext(
@@ -129,18 +132,20 @@ class Evaluator:
             raise ValueError("mult requires a relinearisation key")
         if merged_mod_down and not rescale:
             raise ValueError("merged_mod_down only makes sense with rescale")
-        ct1, ct2 = self.align_levels(ct1, ct2)
-        d0 = ct1.c0 * ct2.c0
-        d1 = ct1.c0 * ct2.c1 + ct1.c1 * ct2.c0
-        d2 = ct1.c1 * ct2.c1
-        scale = ct1.scale * ct2.scale
+        obs.count("ckks.evaluator.mult")
+        with obs.span("ckks.Mult", limbs=min(ct1.num_limbs, ct2.num_limbs)):
+            ct1, ct2 = self.align_levels(ct1, ct2)
+            d0 = ct1.c0 * ct2.c0
+            d1 = ct1.c0 * ct2.c1 + ct1.c1 * ct2.c0
+            d2 = ct1.c1 * ct2.c1
+            scale = ct1.scale * ct2.scale
 
-        if merged_mod_down:
-            return self._mult_merged(d0, d1, d2, scale)
+            if merged_mod_down:
+                return self._mult_merged(d0, d1, d2, scale)
 
-        u, v = self.key_switch(d2, self.relin_key)
-        result = Ciphertext(d0 + u, d1 + v, scale)
-        return self.rescale(result) if rescale else result
+            u, v = self.key_switch(d2, self.relin_key)
+            result = Ciphertext(d0 + u, d1 + v, scale)
+            return self.rescale(result) if rescale else result
 
     def _mult_merged(
         self,
@@ -225,17 +230,18 @@ class Evaluator:
     # ==================================================================
     def decompose(self, poly: RnsPolynomial) -> List[RnsPolynomial]:
         """Split a ciphertext polynomial into key-switching digits."""
-        ctx = self.context
-        digits = []
-        for index_range in ctx.digit_index_ranges(poly.num_limbs):
-            moduli = [poly.basis.moduli[i] for i in index_range]
-            rows = [poly.limbs[i] for i in index_range]
-            digits.append(
-                RnsPolynomial(
-                    RnsBasis(ctx.degree, moduli), rows, poly.representation
+        with obs.span("ckks.Decomp", limbs=poly.num_limbs):
+            ctx = self.context
+            digits = []
+            for index_range in ctx.digit_index_ranges(poly.num_limbs):
+                moduli = [poly.basis.moduli[i] for i in index_range]
+                rows = [poly.limbs[i] for i in index_range]
+                digits.append(
+                    RnsPolynomial(
+                        RnsBasis(ctx.degree, moduli), rows, poly.representation
+                    )
                 )
-            )
-        return digits
+            return digits
 
     def raise_digit(
         self, digit: RnsPolynomial, target: RnsBasis
@@ -252,7 +258,9 @@ class Evaluator:
     def raise_digits(self, poly: RnsPolynomial) -> List[RnsPolynomial]:
         """Decomp + ModUp of every digit (the hoistable prefix of KeySwitch)."""
         target = self.context.raised_basis(poly.num_limbs)
-        return [self.raise_digit(d, target) for d in self.decompose(poly)]
+        digits = self.decompose(poly)
+        with obs.span("ckks.ModUp", digits=len(digits)):
+            return [self.raise_digit(d, target) for d in digits]
 
     def ksk_inner_product(
         self,
@@ -266,13 +274,14 @@ class Evaluator:
             raise ValueError(
                 f"{len(raised_digits)} digits but key has {len(key_digits)}"
             )
-        target = self.context.raised_basis(live_limbs)
-        acc_b = RnsPolynomial.zero(target)
-        acc_a = RnsPolynomial.zero(target)
-        for digit, (b_key, a_key) in zip(raised_digits, key_digits):
-            acc_b = acc_b + digit * b_key
-            acc_a = acc_a + digit * a_key
-        return acc_b, acc_a
+        with obs.span("ckks.KSKInnerProd", digits=len(raised_digits)):
+            target = self.context.raised_basis(live_limbs)
+            acc_b = RnsPolynomial.zero(target)
+            acc_a = RnsPolynomial.zero(target)
+            for digit, (b_key, a_key) in zip(raised_digits, key_digits):
+                acc_b = acc_b + digit * b_key
+                acc_a = acc_a + digit * a_key
+            return acc_b, acc_a
 
     def key_switch_raised(
         self, poly: RnsPolynomial, key: SwitchingKey
@@ -288,14 +297,17 @@ class Evaluator:
 
     def mod_down_pair(self, pair: RaisedPair) -> Tuple[RnsPolynomial, RnsPolynomial]:
         """The deferred ModDown pair finishing a (possibly hoisted) KeySwitch."""
-        drop = len(self.context.special_moduli)
-        return mod_down(pair[0], drop), mod_down(pair[1], drop)
+        with obs.span("ckks.ModDown", polys=2):
+            drop = len(self.context.special_moduli)
+            return mod_down(pair[0], drop), mod_down(pair[1], drop)
 
     def key_switch(
         self, poly: RnsPolynomial, key: SwitchingKey
     ) -> Tuple[RnsPolynomial, RnsPolynomial]:
         """Full KeySwitch (Algorithm 3): Decomp, ModUp, inner product, ModDown."""
-        return self.mod_down_pair(self.key_switch_raised(poly, key))
+        obs.count("ckks.evaluator.key_switch")
+        with obs.span("ckks.KeySwitch", limbs=poly.num_limbs):
+            return self.mod_down_pair(self.key_switch_raised(poly, key))
 
     # ==================================================================
     # Galois operations
@@ -320,8 +332,10 @@ class Evaluator:
             key = self.rotation_keys.get(steps)
         if key is None:
             raise ValueError(f"no rotation key for {steps} steps")
-        t = self.context.encoder.rotation_automorphism(steps)
-        return self._galois(ct, t, key)
+        obs.count("ckks.evaluator.rotate")
+        with obs.span("ckks.Rotate", steps=steps, limbs=ct.num_limbs):
+            t = self.context.encoder.rotation_automorphism(steps)
+            return self._galois(ct, t, key)
 
     def conjugate(
         self, ct: Ciphertext, key: Optional[SwitchingKey] = None
@@ -330,8 +344,10 @@ class Evaluator:
         key = key if key is not None else self.conjugation_key
         if key is None:
             raise ValueError("no conjugation key available")
-        t = self.context.encoder.conjugation_automorphism
-        return self._galois(ct, t, key)
+        obs.count("ckks.evaluator.conjugate")
+        with obs.span("ckks.Conjugate", limbs=ct.num_limbs):
+            t = self.context.encoder.conjugation_automorphism
+            return self._galois(ct, t, key)
 
     def rotations_hoisted(
         self, ct: Ciphertext, steps_list: Sequence[int]
@@ -342,6 +358,17 @@ class Evaluator:
         is computed once; each rotation then costs only automorphisms, one
         inner product, and the ModDown pair.
         """
+        obs.count("ckks.evaluator.rotations_hoisted")
+        with obs.span(
+            "ckks.RotationsHoisted",
+            rotations=len(steps_list),
+            limbs=ct.num_limbs,
+        ):
+            return self._rotations_hoisted(ct, steps_list)
+
+    def _rotations_hoisted(
+        self, ct: Ciphertext, steps_list: Sequence[int]
+    ) -> Dict[int, Ciphertext]:
         raised_digits = self.raise_digits(ct.c1)
         results: Dict[int, Ciphertext] = {}
         for steps in steps_list:

@@ -7,12 +7,19 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro fig2
     python -m repro bootstrap --params optimal --config all
     python -m repro search --multipliers 4096 --bandwidth 1000 --cache-mb 32
+    python -m repro trace bootstrap --out trace.json --report run_report.json
+
+Table commands accept ``--json`` for machine-readable output; ``trace``
+records a hierarchical span tree and writes it as Chrome trace-event JSON
+(viewable in Perfetto or ``chrome://tracing``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from typing import List, Optional
 
 from repro.params import BASELINE_JUNG, MAD_OPTIMAL
@@ -26,11 +33,19 @@ _CONFIGS = {
 }
 
 
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=1, sort_keys=True))
+
+
 def _cmd_table4(args) -> int:
     from repro.report import generate_table4, render_table4
 
     config = _CONFIGS[args.config]()
-    print(render_table4(generate_table4(_PARAM_SETS[args.params], config)))
+    rows = generate_table4(_PARAM_SETS[args.params], config)
+    if args.json:
+        _print_json([asdict(row) for row in rows])
+    else:
+        print(render_table4(rows))
     return 0
 
 
@@ -55,7 +70,11 @@ def _cmd_table5(args) -> int:
 def _cmd_table6(args) -> int:
     from repro.report import generate_table6, render_table6
 
-    print(render_table6(generate_table6()))
+    rows = generate_table6()
+    if args.json:
+        _print_json([asdict(row) for row in rows])
+    else:
+        print(render_table6(rows))
     return 0
 
 
@@ -77,7 +96,11 @@ def _cmd_fig1(args) -> int:
 def _cmd_fig2(args) -> int:
     from repro.report import generate_fig2
 
-    for p in generate_fig2():
+    points = generate_fig2()
+    if args.json:
+        _print_json([asdict(p) for p in points])
+        return 0
+    for p in points:
         print(
             f"{p.label:18} {p.dram_gb:7.1f} GB "
             f"({p.reduction_vs_baseline:6.1%} vs baseline)"
@@ -88,7 +111,11 @@ def _cmd_fig2(args) -> int:
 def _cmd_fig3(args) -> int:
     from repro.report import generate_fig3
 
-    for p in generate_fig3(_PARAM_SETS[args.params]):
+    points = generate_fig3(_PARAM_SETS[args.params])
+    if args.json:
+        _print_json([asdict(p) for p in points])
+        return 0
+    for p in points:
         print(
             f"{p.label:20} {p.giga_ops:7.1f} Gops, ct {p.ct_dram_gb:6.1f} GB, "
             f"keys {p.key_read_gb:5.1f} GB, AI {p.arithmetic_intensity:.2f}"
@@ -112,17 +139,33 @@ def _cmd_fig6(args) -> int:
 
 
 def _cmd_bootstrap(args) -> int:
+    from repro.obs.export import cost_dict
+
     params = _PARAM_SETS[args.params]
     config = _CONFIGS[args.config]()
     cache = CacheModel.from_mb(args.cache_mb) if args.cache_mb else None
     breakdown = BootstrapModel(params, config, cache).cost()
+    total = breakdown.total
+    if args.json:
+        _print_json(
+            {
+                "params": args.params,
+                "config": asdict(config),
+                "cache_mb": args.cache_mb,
+                "phases": {
+                    name: cost_dict(cost)
+                    for name, cost in breakdown.phases().items()
+                },
+                "total": cost_dict(total),
+            }
+        )
+        return 0
     print(params.describe())
     for name, cost in breakdown.phases().items():
         print(
             f"  {name:14} {cost.giga_ops():8.1f} Gops  "
             f"{cost.gigabytes():7.1f} GB  AI {cost.arithmetic_intensity:5.2f}"
         )
-    total = breakdown.total
     print(
         f"  {'Total':14} {total.giga_ops():8.1f} Gops  "
         f"{total.gigabytes():7.1f} GB  AI {total.arithmetic_intensity:5.2f}"
@@ -131,10 +174,26 @@ def _cmd_bootstrap(args) -> int:
 
 
 def _cmd_ledger(args) -> int:
+    from repro.obs.export import cost_dict
+
     params = _PARAM_SETS[args.params]
     config = _CONFIGS[args.config]()
+    ledger = BootstrapModel(params, config).ledger()
+    if args.json:
+        _print_json(
+            {
+                "params": args.params,
+                "config": asdict(config),
+                "components": {
+                    label: cost_dict(cost)
+                    for label, cost in ledger.by_label().items()
+                },
+                "total": cost_dict(ledger.total),
+            }
+        )
+        return 0
     print(params.describe())
-    print(BootstrapModel(params, config).ledger().render())
+    print(ledger.render())
     return 0
 
 
@@ -145,6 +204,95 @@ def _cmd_balance(args) -> int:
     for name, design in PRIOR_DESIGNS.items():
         mad = mad_counterpart(design)
         print(render_balance(mad.name, balance_point(cost, mad)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import state as obs
+    from repro.obs.export import (
+        attribute_runtime,
+        build_run_report,
+        render_flat_profile,
+        validate_run_report,
+        write_chrome_trace,
+    )
+
+    params = _PARAM_SETS[args.params]
+    config = _CONFIGS[args.config]()
+    cache = CacheModel.from_mb(args.cache_mb) if args.cache_mb else None
+
+    if args.target == "bootstrap":
+        workload_name = "bootstrap"
+
+        def run():
+            return BootstrapModel(params, config, cache).ledger().total
+
+    else:
+        from repro.apps import helr_training, resnet20_inference, workload_cost
+
+        workload = (
+            helr_training(params)
+            if args.target == "helr"
+            else resnet20_inference(params)
+        )
+        workload_name = workload.name
+
+        def run():
+            return workload_cost(workload, params, config, cache).total
+
+    untraced = run()
+    with obs.capture() as (tracer, registry):
+        traced = run()
+    # Tracing must be a pure observer: both the model's own total and the
+    # sum of span costs have to match the untraced run bit-for-bit.
+    if traced != untraced:
+        raise SystemExit("trace changed the model output; refusing to export")
+    if tracer.total_cost() != untraced:
+        raise SystemExit("span costs do not sum to the model total")
+
+    runtime = None
+    if args.design:
+        from repro.hardware import PRIOR_DESIGNS
+
+        if args.design not in PRIOR_DESIGNS:
+            raise SystemExit(
+                f"unknown design {args.design!r}; "
+                f"choose from {', '.join(sorted(PRIOR_DESIGNS))}"
+            )
+        estimate = attribute_runtime(tracer, PRIOR_DESIGNS[args.design])
+        if estimate is not None:
+            runtime = {
+                "design": args.design,
+                "compute_seconds": estimate.compute_seconds,
+                "memory_seconds": estimate.memory_seconds,
+                "roofline_seconds": estimate.seconds,
+                "bound": estimate.bound,
+            }
+
+    metadata = {
+        "workload": workload_name,
+        "params": args.params,
+        "config": args.config,
+        "cache_mb": args.cache_mb,
+    }
+    write_chrome_trace(tracer, args.out, metadata)
+    print(render_flat_profile(tracer))
+    print(f"\nwrote Chrome trace to {args.out}")
+
+    if args.report:
+        report = build_run_report(
+            tracer,
+            registry,
+            command=f"trace {args.target}",
+            workload=workload_name,
+            params=args.params,
+            config=asdict(config),
+            runtime=runtime,
+        )
+        validate_run_report(report)
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"wrote run report to {args.report}")
     return 0
 
 
@@ -187,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table4", help="per-primitive ops/DRAM/AI table")
     p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
     p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_table4)
 
     p = sub.add_parser("table5", help="memory-aware optimal parameters")
@@ -194,16 +343,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_table5)
 
     p = sub.add_parser("table6", help="bootstrapping design comparison")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_table6)
 
     p = sub.add_parser("fig1", help="Rotate O(1)-caching example")
     p.set_defaults(func=_cmd_fig1)
 
     p = sub.add_parser("fig2", help="caching-optimization ladder")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_fig2)
 
     p = sub.add_parser("fig3", help="algorithmic-optimization ladder")
     p.add_argument("--params", choices=_PARAM_SETS, default="optimal")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_fig3)
 
     p = sub.add_parser("fig6", help="ML application comparison")
@@ -216,12 +368,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
     p.add_argument("--config", choices=_CONFIGS, default="none")
     p.add_argument("--cache-mb", type=float, default=None)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_bootstrap)
 
     p = sub.add_parser("ledger", help="labeled bootstrap cost ledger")
     p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
     p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_ledger)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace a run and export Chrome trace-event JSON",
+    )
+    p.add_argument("target", choices=("bootstrap", "helr", "resnet"))
+    p.add_argument("--out", required=True, help="Chrome trace output path")
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.add_argument("--cache-mb", type=float, default=None)
+    p.add_argument(
+        "--design",
+        default=None,
+        help="attribute roofline runtime on a prior design (e.g. BTS)",
+    )
+    p.add_argument(
+        "--report", default=None, help="also write run_report.json here"
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("balance", help="roofline balance of MAD design points")
     p.set_defaults(func=_cmd_balance)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import state as obs
 from repro.perf.events import CostReport
 from repro.hardware.design import HardwareDesign
 
@@ -51,7 +52,21 @@ class RuntimeEstimate:
 def estimate_runtime(
     cost: CostReport, design: HardwareDesign
 ) -> RuntimeEstimate:
-    """Roofline runtime of ``cost`` on ``design``."""
+    """Roofline runtime of ``cost`` on ``design``.
+
+    When a span is open on the global tracer (:mod:`repro.obs`) the
+    estimate is attached to it as metadata, attributing compute-bound vs
+    memory-bound time to whatever the span measures.
+    """
     compute = cost.ops.total / design.compute_ops_per_second
     memory = cost.traffic.total / design.bandwidth_bytes_per_second
-    return RuntimeEstimate(compute_seconds=compute, memory_seconds=memory)
+    estimate = RuntimeEstimate(compute_seconds=compute, memory_seconds=memory)
+    obs.count("hardware.runtime.estimates")
+    if obs.tracing_enabled():
+        obs.annotate(
+            design=design.name,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            bound=estimate.bound,
+        )
+    return estimate

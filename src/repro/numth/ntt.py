@@ -17,6 +17,7 @@ from typing import List, Sequence
 
 from repro.numth.modular import mod_inverse, mod_pow
 from repro.numth.primes import root_of_unity
+from repro.obs import state as obs
 
 
 def _bit_reverse_table(n: int) -> List[int]:
@@ -100,6 +101,7 @@ class NttContext:
 
     def forward(self, coeffs: Sequence[int]) -> List[int]:
         """Map coefficient representation to evaluation representation."""
+        obs.count("numth.ntt.forward")
         if len(coeffs) != self.n:
             raise ValueError(f"expected {self.n} coefficients, got {len(coeffs)}")
         q = self.q
@@ -109,6 +111,7 @@ class NttContext:
 
     def inverse(self, evals: Sequence[int]) -> List[int]:
         """Map evaluation representation back to coefficient representation."""
+        obs.count("numth.ntt.inverse")
         if len(evals) != self.n:
             raise ValueError(f"expected {self.n} evaluations, got {len(evals)}")
         q = self.q
@@ -124,6 +127,7 @@ class NttContext:
         self, a: Sequence[int], b: Sequence[int]
     ) -> List[int]:
         """Multiply two coefficient-form polynomials in ``Z_q[x]/(x^N+1)``."""
+        obs.count("numth.ntt.negacyclic_multiply")
         ea = self.forward(a)
         eb = self.forward(b)
         q = self.q

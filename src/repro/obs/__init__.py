@@ -1,0 +1,71 @@
+"""Observability: hierarchical span tracing, metrics, machine-readable dumps.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.tracer` / :mod:`repro.obs.metrics` — the recording
+  primitives (span trees with analytical-cost attribution; counters,
+  gauges, histograms);
+* :mod:`repro.obs.state` — the process-global default tracer/registry and
+  the instrumentation facade used by model code (``obs.span``,
+  ``obs.record_cost``, ``obs.count``), with a no-op fast path when
+  disabled;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), a flat text profile, and the versioned
+  ``run_report.json`` schema.
+
+Typical use::
+
+    from repro import obs
+    from repro.obs.export import write_chrome_trace
+
+    with obs.capture() as (tracer, registry):
+        BootstrapModel(params, config).total_cost()
+    write_chrome_trace(tracer, "trace.json")
+
+Tracing alters nothing: a traced run returns bit-identical CostReports to
+an untraced one, and the sum of all span costs equals the model total.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.state import (
+    annotate,
+    capture,
+    count,
+    current_span,
+    gauge,
+    get_tracer,
+    metrics,
+    metrics_enabled,
+    observe,
+    record_cost,
+    set_metrics,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "annotate",
+    "capture",
+    "count",
+    "current_span",
+    "gauge",
+    "get_tracer",
+    "metrics",
+    "metrics_enabled",
+    "observe",
+    "record_cost",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,385 @@
+"""Trace and metrics exporters.
+
+Three output formats, all fed from one :class:`~repro.obs.tracer.Tracer`:
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) — loadable in
+  Perfetto (ui.perfetto.dev) or ``chrome://tracing``; every span becomes a
+  complete ("X") event whose ``args`` carry its exclusive ops/traffic.
+* **Flat text profile** (:func:`render_flat_profile`) — spans aggregated
+  by name in the :meth:`repro.perf.ledger.CostLedger.render` style.
+* **``run_report.json``** (:func:`build_run_report`) — a stable
+  machine-readable summary (schema id ``repro.obs.run_report/v1``,
+  JSON-Schema in :data:`RUN_REPORT_SCHEMA`) suitable for ``BENCH_*.json``
+  trajectory tracking and mechanical run-to-run diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.perf.events import CostReport, MemTraffic, OpCount
+
+SCHEMA_ID = "repro.obs.run_report/v1"
+
+#: JSON-Schema (draft-07) for the run report; CI validates emitted reports
+#: against it with ``jsonschema`` and :func:`validate_run_report` performs
+#: the same structural checks without the dependency.
+RUN_REPORT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": SCHEMA_ID,
+    "title": "repro.obs run report",
+    "type": "object",
+    "required": ["schema", "command", "wall_seconds", "totals", "spans", "metrics"],
+    "properties": {
+        "schema": {"const": SCHEMA_ID},
+        "command": {"type": "string"},
+        "workload": {"type": "string"},
+        "params": {"type": ["string", "null"]},
+        "config": {"type": ["object", "null"]},
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "totals": {
+            "type": "object",
+            "required": ["ops", "traffic", "arithmetic_intensity"],
+            "properties": {
+                "ops": {
+                    "type": "object",
+                    "required": ["mults", "adds", "total"],
+                    "properties": {
+                        "mults": {"type": "integer", "minimum": 0},
+                        "adds": {"type": "integer", "minimum": 0},
+                        "total": {"type": "integer", "minimum": 0},
+                    },
+                },
+                "traffic": {
+                    "type": "object",
+                    "required": [
+                        "ct_read", "ct_write", "key_read", "pt_read", "total",
+                    ],
+                },
+                "arithmetic_intensity": {"type": "number"},
+            },
+        },
+        "spans": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "depth", "start_us", "duration_us"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "depth": {"type": "integer", "minimum": 0},
+                    "start_us": {"type": "number", "minimum": 0},
+                    "duration_us": {"type": "number", "minimum": 0},
+                    "ops": {"type": ["object", "null"]},
+                    "traffic": {"type": ["object", "null"]},
+                    "meta": {"type": "object"},
+                },
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+        },
+        "runtime": {"type": ["object", "null"]},
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Cost serialization helpers
+# ----------------------------------------------------------------------
+def ops_dict(ops: OpCount) -> Dict[str, int]:
+    return {"mults": ops.mults, "adds": ops.adds, "total": ops.total}
+
+
+def traffic_dict(traffic: MemTraffic) -> Dict[str, int]:
+    return {
+        "ct_read": traffic.ct_read,
+        "ct_write": traffic.ct_write,
+        "key_read": traffic.key_read,
+        "pt_read": traffic.pt_read,
+        "total": traffic.total,
+    }
+
+
+def cost_dict(cost: CostReport) -> Dict[str, Any]:
+    return {
+        "ops": ops_dict(cost.ops),
+        "traffic": traffic_dict(cost.traffic),
+        "arithmetic_intensity": cost.arithmetic_intensity,
+    }
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce span metadata to JSON-serializable values."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def to_chrome_trace(
+    tracer, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Render a tracer's span forest as a Chrome trace-event document."""
+    spans = list(tracer.spans())
+    origin = min((s.start for s in spans), default=0.0)
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for span in spans:
+        args: Dict[str, Any] = _json_safe(span.meta)
+        if span.cost is not None:
+            args["ops"] = span.cost.ops.total
+            args["bytes"] = span.cost.traffic.total
+            args["cost"] = cost_dict(span.cost)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "name": span.name,
+                "cat": "repro",
+                "ts": max(0.0, (span.start - origin) * 1e6),
+                "dur": max(0.0, span.duration * 1e6),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": _json_safe(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    tracer, path: str, metadata: Optional[Dict[str, Any]] = None
+) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, metadata), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Flat text profile
+# ----------------------------------------------------------------------
+def render_flat_profile(tracer) -> str:
+    """Spans aggregated by name, CostLedger.render style.
+
+    Wall time sums each span's own (inclusive) duration; Gops/GB/AI come
+    from *exclusive* costs so the column totals match the model exactly.
+    """
+    aggregated: Dict[str, Dict[str, Any]] = {}
+    for span in tracer.spans():
+        row = aggregated.setdefault(
+            span.name, {"calls": 0, "seconds": 0.0, "cost": None}
+        )
+        row["calls"] += 1
+        row["seconds"] += span.duration
+        if span.cost is not None:
+            row["cost"] = (
+                span.cost if row["cost"] is None else row["cost"] + span.cost
+            )
+    total = tracer.total_cost()
+    total = total if total is not None else CostReport()
+
+    header = (
+        f"{'Span':28} {'Calls':>6} {'Wall ms':>9} {'Gops':>9} {'GB':>8} "
+        f"{'AI':>6} {'Ops%':>7} {'GB%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in aggregated.items():
+        label = name if len(name) <= 28 else name[:27] + "…"
+        cost = row["cost"]
+        if cost is None:
+            lines.append(
+                f"{label:28} {row['calls']:6d} {row['seconds'] * 1e3:9.3f} "
+                f"{'-':>9} {'-':>8} {'-':>6} {'-':>7} {'-':>7}"
+            )
+            continue
+        ops_share = (
+            cost.ops.total / total.ops.total if total.ops.total else 0.0
+        )
+        traffic_share = (
+            cost.traffic.total / total.traffic.total
+            if total.traffic.total
+            else 0.0
+        )
+        lines.append(
+            f"{label:28} {row['calls']:6d} {row['seconds'] * 1e3:9.3f} "
+            f"{cost.giga_ops():9.2f} {cost.gigabytes():8.2f} "
+            f"{cost.arithmetic_intensity:6.2f} {ops_share:7.1%} "
+            f"{traffic_share:7.1%}"
+        )
+    lines.append("-" * len(header))
+    wall = sum(root.duration for root in tracer.roots)
+    lines.append(
+        f"{'Total':28} {len(aggregated):6d} {wall * 1e3:9.3f} "
+        f"{total.giga_ops():9.2f} {total.gigabytes():8.2f} "
+        f"{total.arithmetic_intensity:6.2f} {1.0 if total.ops.total else 0.0:7.1%} "
+        f"{1.0 if total.traffic.total else 0.0:7.1%}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Roofline attribution
+# ----------------------------------------------------------------------
+def attribute_runtime(tracer, design):
+    """Annotate every costed span with its roofline estimate on ``design``.
+
+    Each span gets ``compute_seconds`` / ``memory_seconds`` /
+    ``roofline_seconds`` / ``bound`` metadata computed from its *inclusive*
+    cost.  Returns the whole-trace :class:`~repro.hardware.runtime
+    .RuntimeEstimate`, or None if no span recorded a cost.
+    """
+    from repro.hardware.runtime import estimate_runtime
+
+    for span in tracer.spans():
+        cost = span.total_cost()
+        if cost is None:
+            continue
+        estimate = estimate_runtime(cost, design)
+        span.annotate(
+            design=design.name,
+            compute_seconds=estimate.compute_seconds,
+            memory_seconds=estimate.memory_seconds,
+            roofline_seconds=estimate.seconds,
+            bound=estimate.bound,
+        )
+    overall = tracer.total_cost()
+    return estimate_runtime(overall, design) if overall is not None else None
+
+
+# ----------------------------------------------------------------------
+# run_report.json
+# ----------------------------------------------------------------------
+def build_run_report(
+    tracer,
+    registry=None,
+    command: str = "",
+    workload: str = "",
+    params: Optional[str] = None,
+    config: Optional[Dict[str, Any]] = None,
+    runtime: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the stable machine-readable summary of one traced run."""
+    spans_out: List[Dict[str, Any]] = []
+    spans = list(tracer.spans())
+    origin = min((s.start for s in spans), default=0.0)
+    for span in spans:
+        spans_out.append(
+            {
+                "name": span.name,
+                "depth": span.depth,
+                "start_us": max(0.0, (span.start - origin) * 1e6),
+                "duration_us": max(0.0, span.duration * 1e6),
+                "ops": ops_dict(span.cost.ops) if span.cost is not None else None,
+                "traffic": (
+                    traffic_dict(span.cost.traffic)
+                    if span.cost is not None
+                    else None
+                ),
+                "meta": _json_safe(span.meta),
+            }
+        )
+    total = tracer.total_cost()
+    total = total if total is not None else CostReport()
+    ai = total.arithmetic_intensity
+    return {
+        "schema": SCHEMA_ID,
+        "command": command,
+        "workload": workload,
+        "params": params,
+        "config": _json_safe(config) if config is not None else None,
+        "wall_seconds": sum(root.duration for root in tracer.roots),
+        "totals": {
+            "ops": ops_dict(total.ops),
+            "traffic": traffic_dict(total.traffic),
+            # inf is not valid JSON; an all-compute run reports AI = -1.
+            "arithmetic_intensity": ai if ai != float("inf") else -1.0,
+        },
+        "spans": spans_out,
+        "metrics": (
+            registry.snapshot()
+            if registry is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        ),
+        "runtime": _json_safe(runtime) if runtime is not None else None,
+    }
+
+
+def validate_run_report(report: Any) -> None:
+    """Structural validation of a run report; raises ValueError on mismatch.
+
+    Mirrors :data:`RUN_REPORT_SCHEMA` without requiring ``jsonschema``.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid run report: {message}")
+
+    if not isinstance(report, dict):
+        fail("top level is not an object")
+    if report.get("schema") != SCHEMA_ID:
+        fail(f"schema id {report.get('schema')!r} != {SCHEMA_ID!r}")
+    for key in ("command", "wall_seconds", "totals", "spans", "metrics"):
+        if key not in report:
+            fail(f"missing required key {key!r}")
+    if not isinstance(report["command"], str):
+        fail("command is not a string")
+    wall = report["wall_seconds"]
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        fail("wall_seconds is not a non-negative number")
+
+    totals = report["totals"]
+    if not isinstance(totals, dict):
+        fail("totals is not an object")
+    for section, keys in (
+        ("ops", ("mults", "adds", "total")),
+        ("traffic", ("ct_read", "ct_write", "key_read", "pt_read", "total")),
+    ):
+        block = totals.get(section)
+        if not isinstance(block, dict):
+            fail(f"totals.{section} is not an object")
+        for key in keys:
+            value = block.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                fail(f"totals.{section}.{key} is not a non-negative integer")
+    if "arithmetic_intensity" not in totals:
+        fail("totals.arithmetic_intensity missing")
+
+    spans = report["spans"]
+    if not isinstance(spans, list):
+        fail("spans is not an array")
+    for index, span in enumerate(spans):
+        if not isinstance(span, dict):
+            fail(f"spans[{index}] is not an object")
+        for key in ("name", "depth", "start_us", "duration_us"):
+            if key not in span:
+                fail(f"spans[{index}] missing {key!r}")
+        if not isinstance(span["name"], str):
+            fail(f"spans[{index}].name is not a string")
+        if not isinstance(span["depth"], int) or span["depth"] < 0:
+            fail(f"spans[{index}].depth is not a non-negative integer")
+        for key in ("start_us", "duration_us"):
+            value = span[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"spans[{index}].{key} is not a non-negative number")
+
+    metrics = report["metrics"]
+    if not isinstance(metrics, dict):
+        fail("metrics is not an object")
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(key), dict):
+            fail(f"metrics.{key} is not an object")

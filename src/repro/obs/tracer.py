@@ -1,0 +1,218 @@
+"""Hierarchical span tracing with a zero-cost disabled path.
+
+A :class:`Tracer` records a tree of named, wall-clock-timed spans.  Model
+code opens spans with ``with tracer.span("CoeffToSlot", level=l):`` and
+attributes analytical :class:`~repro.perf.events.CostReport` deltas to the
+innermost open span via :meth:`Tracer.record_cost`.
+
+Two invariants keep traced and untraced runs bit-identical:
+
+* spans only *observe* — they store the cost objects handed to them and
+  never feed anything back into the model;
+* each cost is recorded exactly once, by the code that folds it into a
+  total, so the sum of all spans' *exclusive* costs equals the untraced
+  total exactly (integer arithmetic, no rounding).
+
+When tracing is disabled the process-global tracer is the shared
+:data:`NULL_TRACER`, whose ``span`` returns one reusable no-op context
+manager — no allocation, no timing, no bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed node in the trace tree."""
+
+    __slots__ = ("name", "meta", "parent", "children", "start", "end", "cost")
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["Span"] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        start: float = 0.0,
+    ):
+        self.name = name
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.start = start
+        self.end: Optional[float] = None
+        #: Cost recorded *directly* in this span (exclusive of children).
+        self.cost = None
+
+    @property
+    def depth(self) -> int:
+        depth, node = 0, self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; 0.0 while the span is still open."""
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def record_cost(self, cost) -> None:
+        """Attribute an analytical cost delta to this span (accumulates)."""
+        self.cost = cost if self.cost is None else self.cost + cost
+
+    def annotate(self, **meta) -> None:
+        self.meta.update(meta)
+
+    def total_cost(self):
+        """Inclusive cost: own plus all descendants (None if none recorded)."""
+        total = self.cost
+        for child in self.children:
+            sub = child.total_cost()
+            if sub is not None:
+                total = sub if total is None else total + sub
+        return total
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context manager that opens a span on entry and closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_meta", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer._stack[-1] if tracer._stack else None
+        span = Span(self._name, parent, self._meta, start=tracer._clock())
+        (parent.children if parent is not None else tracer.roots).append(span)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        span = self._span
+        span.end = self._tracer._clock()
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Records a forest of nested spans.
+
+    Args:
+        clock: monotonic-seconds callable; injectable for deterministic
+            tests (defaults to :func:`time.perf_counter`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, /, **meta) -> _SpanContext:
+        """Context manager opening a child of the current span."""
+        return _SpanContext(self, name, meta)
+
+    def record_cost(self, cost) -> None:
+        """Attribute a cost delta to the current span (no-op outside spans)."""
+        if self._stack:
+            self._stack[-1].record_cost(cost)
+
+    def annotate(self, **meta) -> None:
+        """Merge metadata into the current span (no-op outside spans)."""
+        if self._stack:
+            self._stack[-1].meta.update(meta)
+
+    def spans(self) -> Iterator[Span]:
+        """All recorded spans, pre-order across the root forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def total_cost(self):
+        """Sum of every span's exclusive cost (None when nothing recorded).
+
+        Because costs are recorded exactly once, this equals the model's
+        untraced total bit-for-bit.
+        """
+        total = None
+        for span in self.spans():
+            if span.cost is not None:
+                total = span.cost if total is None else total + span.cost
+        return total
+
+
+class _NullSpan:
+    """Reusable inert span returned by the disabled path."""
+
+    __slots__ = ()
+    name = "<tracing disabled>"
+    children = ()
+    cost = None
+    meta: Dict[str, Any] = {}
+
+    def record_cost(self, cost) -> None:
+        pass
+
+    def annotate(self, **meta) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class NullTracer:
+    """Do-nothing tracer; the process-global default when disabled."""
+
+    __slots__ = ()
+    enabled = False
+    current = None
+
+    def span(self, name: str, /, **meta) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def record_cost(self, cost) -> None:
+        pass
+
+    def annotate(self, **meta) -> None:
+        pass
+
+    def spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def total_cost(self):
+        return None
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+NULL_TRACER = NullTracer()

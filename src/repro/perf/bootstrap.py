@@ -17,9 +17,10 @@ The output level is ``L - 2*fftIter - eval_mod_depth``, matching the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
+from repro.obs import state as obs
 from repro.params import CkksParams
 from repro.perf.cache import CacheModel
 from repro.perf.events import CostReport
@@ -106,44 +107,93 @@ class BootstrapModel:
 
     # ------------------------------------------------------------------
     def ledger(self) -> "CostLedger":
-        """Sub-operation-labeled cost ledger of one bootstrap."""
+        """Sub-operation-labeled cost ledger of one bootstrap.
+
+        When a tracer is installed (:mod:`repro.obs`) the call also emits a
+        span tree — a root span carrying the parameter/MAD-config/cache
+        metadata, one span per phase, one leaf span per consumed level —
+        with each leaf recording exactly the CostReport added to the
+        ledger.  The traced span-cost sum is therefore bit-identical to
+        the untraced total; with tracing disabled every ``obs`` call is a
+        no-op on a shared singleton.
+        """
         from repro.perf.ledger import CostLedger
 
         params = self.params
         level = params.max_limbs
         ledger = CostLedger()
+        if obs.tracing_enabled():
+            # Root metadata is only worth computing when someone records it.
+            root_meta = {
+                "params": params.describe(),
+                "config": asdict(self.costs.config),
+                "cache_mb": (
+                    self.costs.cache.megabytes
+                    if self.costs.cache is not None
+                    else None
+                ),
+            }
+        else:
+            root_meta = {}
 
-        ledger.add("ModRaise", self.costs.mod_raise(2, level))
+        with obs.span("Bootstrap", **root_meta):
+            with obs.span("ModRaise", level=level):
+                cost = self.costs.mod_raise(2, level)
+                obs.record_cost(cost)
+            ledger.add("ModRaise", cost)
 
-        for i in range(params.fft_iter):
-            ledger.add(
-                "CoeffToSlot",
-                pt_mat_vec_mult_cost(self.costs, level, self.dft_diagonals),
-            )
-            level -= 1
+            with obs.span("CoeffToSlot"):
+                for i in range(params.fft_iter):
+                    with obs.span(
+                        f"CoeffToSlot[{i}]",
+                        level=level,
+                        diagonals=self.dft_diagonals,
+                    ):
+                        cost = pt_mat_vec_mult_cost(
+                            self.costs, level, self.dft_diagonals
+                        )
+                        obs.record_cost(cost)
+                    ledger.add("CoeffToSlot", cost)
+                    level -= 1
 
-        profile = self.eval_mod_profile
-        for depth in range(params.eval_mod_depth):
-            mults = profile.mults_per_level + (
-                profile.basis_setup_mults if depth == 0 else 0
-            )
-            ledger.add("EvalMod:Mult", self.costs.mult(level).scaled(mults))
-            ledger.add(
-                "EvalMod:PtMult",
-                self.costs.pt_mult(level).scaled(profile.pt_mults_per_level),
-            )
-            ledger.add(
-                "EvalMod:Add",
-                self.costs.add(level).scaled(profile.adds_per_level),
-            )
-            level -= 1
+            profile = self.eval_mod_profile
+            with obs.span("EvalMod"):
+                for depth in range(params.eval_mod_depth):
+                    mults = profile.mults_per_level + (
+                        profile.basis_setup_mults if depth == 0 else 0
+                    )
+                    with obs.span(f"EvalMod[{depth}]", level=level):
+                        with obs.span("EvalMod:Mult", level=level):
+                            mult_cost = self.costs.mult(level).scaled(mults)
+                            obs.record_cost(mult_cost)
+                        with obs.span("EvalMod:PtMult", level=level):
+                            pt_cost = self.costs.pt_mult(level).scaled(
+                                profile.pt_mults_per_level
+                            )
+                            obs.record_cost(pt_cost)
+                        with obs.span("EvalMod:Add", level=level):
+                            add_cost = self.costs.add(level).scaled(
+                                profile.adds_per_level
+                            )
+                            obs.record_cost(add_cost)
+                    ledger.add("EvalMod:Mult", mult_cost)
+                    ledger.add("EvalMod:PtMult", pt_cost)
+                    ledger.add("EvalMod:Add", add_cost)
+                    level -= 1
 
-        for i in range(params.fft_iter):
-            ledger.add(
-                "SlotToCoeff",
-                pt_mat_vec_mult_cost(self.costs, level, self.dft_diagonals),
-            )
-            level -= 1
+            with obs.span("SlotToCoeff"):
+                for i in range(params.fft_iter):
+                    with obs.span(
+                        f"SlotToCoeff[{i}]",
+                        level=level,
+                        diagonals=self.dft_diagonals,
+                    ):
+                        cost = pt_mat_vec_mult_cost(
+                            self.costs, level, self.dft_diagonals
+                        )
+                        obs.record_cost(cost)
+                    ledger.add("SlotToCoeff", cost)
+                    level -= 1
 
         assert level == params.bootstrap_output_limbs
         return ledger

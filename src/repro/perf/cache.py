@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import state as obs
 from repro.params import CkksParams
 
 MB = 10**6
@@ -44,17 +45,27 @@ class CacheModel:
     # ------------------------------------------------------------------
     # Optimization applicability (Section 3.1 thresholds)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record(name: str, fits: bool) -> bool:
+        """Count each fit decision in the metrics registry when enabled."""
+        if obs.metrics_enabled():
+            obs.count(f"perf.cache.{name}.queries")
+            obs.count(f"perf.cache.{name}.{'fit' if fits else 'nofit'}")
+        return fits
+
     def fits_o1(self, params: CkksParams) -> bool:
         """Can fuse all limb-wise sub-operations on one resident limb.
 
         The paper sizes this optimization at 1 MB — exactly one limb of an
         N = 2^17 ring element.
         """
-        return self.capacity_limbs(params) >= 1
+        return self._record("o1", self.capacity_limbs(params) >= 1)
 
     def fits_beta(self, params: CkksParams) -> bool:
         """Can keep one limb from each of the ``beta`` raised digits."""
-        return self.capacity_limbs(params) >= 2 * params.dnum
+        return self._record(
+            "beta", self.capacity_limbs(params) >= 2 * params.dnum
+        )
 
     def fits_alpha(self, params: CkksParams) -> bool:
         """Can keep a full ``alpha``-limb digit resident for basis change.
@@ -65,12 +76,17 @@ class CacheModel:
         what makes the paper's 32 MB budget sufficient for the optimal
         parameter set's alpha = 21.
         """
-        return self.capacity_limbs(params) >= params.alpha + 3
+        return self._record(
+            "alpha", self.capacity_limbs(params) >= params.alpha + 3
+        )
 
     def fits_limb_reorder(self, params: CkksParams) -> bool:
         """Re-ordering needs the same capacity as O(alpha) caching."""
-        return self.fits_alpha(params)
+        return self._record("limb_reorder", self.fits_alpha(params))
 
     def fits_whole_ciphertext(self, params: CkksParams, limbs: int) -> bool:
         """Does a full ciphertext fit (the F1 small-parameter regime)?"""
-        return self.size_bytes >= params.ciphertext_bytes(limbs)
+        return self._record(
+            "whole_ciphertext",
+            self.size_bytes >= params.ciphertext_bytes(limbs),
+        )

@@ -24,6 +24,12 @@ class OpCount:
     def __add__(self, other: "OpCount") -> "OpCount":
         return OpCount(self.mults + other.mults, self.adds + other.adds)
 
+    def __radd__(self, other) -> "OpCount":
+        # Lets builtin ``sum(counts)`` work (it starts from the int 0).
+        if other == 0:
+            return self
+        return NotImplemented
+
     def scaled(self, factor: int) -> "OpCount":
         if factor < 0:
             raise ValueError(f"factor must be non-negative, got {factor}")
@@ -57,6 +63,12 @@ class MemTraffic:
             self.pt_read + other.pt_read,
         )
 
+    def __radd__(self, other) -> "MemTraffic":
+        # Lets builtin ``sum(streams)`` work (it starts from the int 0).
+        if other == 0:
+            return self
+        return NotImplemented
+
     def scaled(self, factor: int) -> "MemTraffic":
         if factor < 0:
             raise ValueError(f"factor must be non-negative, got {factor}")
@@ -77,6 +89,12 @@ class CostReport:
 
     def __add__(self, other: "CostReport") -> "CostReport":
         return CostReport(self.ops + other.ops, self.traffic + other.traffic)
+
+    def __radd__(self, other) -> "CostReport":
+        # Lets builtin ``sum(costs)`` work (it starts from the int 0).
+        if other == 0:
+            return self
+        return NotImplemented
 
     def scaled(self, factor: int) -> "CostReport":
         return CostReport(self.ops.scaled(factor), self.traffic.scaled(factor))

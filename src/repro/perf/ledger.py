@@ -33,10 +33,9 @@ class CostLedger:
 
     @property
     def total(self) -> CostReport:
-        total = CostReport()
-        for _, cost in self._entries:
-            total = total + cost
-        return total
+        if not self._entries:
+            return CostReport()
+        return sum(cost for _, cost in self._entries)
 
     def by_label(self) -> Dict[str, CostReport]:
         """Components merged by label (labels may repeat across phases)."""
@@ -46,39 +45,63 @@ class CostLedger:
         return merged
 
     def traffic_fraction(self, label: str) -> float:
-        """Fraction of total DRAM traffic attributed to ``label``."""
+        """Fraction of total DRAM traffic attributed to ``label``.
+
+        Raises KeyError for labels with no component, even when the ledger
+        carries no traffic at all.
+        """
+        component = self.by_label().get(label)
+        if component is None:
+            raise KeyError(f"no component labeled {label!r}")
         total = self.total.traffic.total
         if total == 0:
             return 0.0
-        component = self.by_label().get(label)
-        if component is None:
-            raise KeyError(f"no component labeled {label!r}")
         return component.traffic.total / total
 
     def ops_fraction(self, label: str) -> float:
-        """Fraction of total compute attributed to ``label``."""
-        total = self.total.ops.total
-        if total == 0:
-            return 0.0
+        """Fraction of total compute attributed to ``label``.
+
+        Raises KeyError for labels with no component, even when the ledger
+        counts no operations at all.
+        """
         component = self.by_label().get(label)
         if component is None:
             raise KeyError(f"no component labeled {label!r}")
+        total = self.total.ops.total
+        if total == 0:
+            return 0.0
         return component.ops.total / total
 
+    _LABEL_WIDTH = 24
+
+    @classmethod
+    def _fit(cls, label: str) -> str:
+        """Truncate long labels so table columns stay aligned."""
+        width = cls._LABEL_WIDTH
+        if len(label) <= width:
+            return label
+        return label[: width - 1] + "…"
+
     def render(self) -> str:
-        lines = [
-            f"{'Component':24} {'Gops':>9} {'GB':>8} {'AI':>6}",
-            "-" * 50,
-        ]
+        width = self._LABEL_WIDTH
+        header = (
+            f"{'Component':{width}} {'Gops':>9} {'GB':>8} {'AI':>6} "
+            f"{'Ops%':>7} {'GB%':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        total = self.total
         for label, cost in self.by_label().items():
             lines.append(
-                f"{label:24} {cost.giga_ops():9.2f} {cost.gigabytes():8.2f} "
-                f"{cost.arithmetic_intensity:6.2f}"
+                f"{self._fit(label):{width}} {cost.giga_ops():9.2f} "
+                f"{cost.gigabytes():8.2f} {cost.arithmetic_intensity:6.2f} "
+                f"{self.ops_fraction(label):7.1%} "
+                f"{self.traffic_fraction(label):7.1%}"
             )
-        total = self.total
-        lines.append("-" * 50)
+        lines.append("-" * len(header))
         lines.append(
-            f"{'Total':24} {total.giga_ops():9.2f} {total.gigabytes():8.2f} "
-            f"{total.arithmetic_intensity:6.2f}"
+            f"{'Total':{width}} {total.giga_ops():9.2f} "
+            f"{total.gigabytes():8.2f} {total.arithmetic_intensity:6.2f} "
+            f"{1.0 if total.ops.total else 0.0:7.1%} "
+            f"{1.0 if total.traffic.total else 0.0:7.1%}"
         )
         return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs import state as obs
 from repro.params import CkksParams
 from repro.perf.cache import CacheModel
 from repro.perf.events import CostReport, MemTraffic, OpCount
@@ -175,6 +176,7 @@ class PrimitiveCosts:
     # ------------------------------------------------------------------
     def decomp(self, limbs: int) -> CostReport:
         """Digit decomposition of one polynomial (per-limb scaling pass)."""
+        obs.count("perf.primitives.decomp")
         self._check_limbs(limbs)
         n = self._n
         return CostReport(
@@ -195,6 +197,7 @@ class PrimitiveCosts:
         coefficient form in the same pass (O(1) fusion with Decomp or
         Automorph), so the iNTT pass costs no extra traffic here.
         """
+        obs.count("perf.primitives.mod_up")
         self._check_limbs(limbs)
         d = self.params.alpha if digit_size is None else digit_size
         if not 1 <= d <= self.params.alpha:
@@ -230,6 +233,7 @@ class PrimitiveCosts:
         ``count_output_writes=False`` models limb re-ordering, where the
         accumulated rows stream straight into the ModDown.
         """
+        obs.count("perf.primitives.ksk_inner_product")
         self._check_limbs(limbs)
         n = self._n
         beta = self.params.beta(limbs)
@@ -268,6 +272,7 @@ class PrimitiveCosts:
             input_resident: the raised input rows stream from on-chip
                 accumulators instead of DRAM (limb re-ordering).
         """
+        obs.count("perf.primitives.mod_down")
         self._check_limbs(limbs)
         n = self._n
         k = self.params.num_special_limbs + extra_drop
@@ -298,6 +303,7 @@ class PrimitiveCosts:
         ``include_mod_down=False`` returns the hoistable prefix (Decomp +
         ModUps + inner product) whose output lives in the raised basis.
         """
+        obs.count("perf.primitives.key_switch")
         self._check_limbs(limbs)
         cost = self.decomp(limbs)
         for digit_size in self._digit_sizes(limbs):
@@ -325,6 +331,7 @@ class PrimitiveCosts:
 
     def mult(self, limbs: int) -> CostReport:
         """Ciphertext multiplication: tensor, relinearise, rescale."""
+        obs.count("perf.primitives.mult")
         self._check_limbs(limbs)
         if limbs < 2:
             raise ValueError("mult needs at least 2 limbs (one to rescale)")
@@ -382,6 +389,7 @@ class PrimitiveCosts:
 
     def rotate(self, limbs: int) -> CostReport:
         """Rotate = Automorph + KeySwitch of ``c1`` + recombine."""
+        obs.count("perf.primitives.rotate")
         self._check_limbs(limbs)
         n = self._n
         if self.config.cache_o1:

@@ -1,0 +1,204 @@
+"""Chrome trace, flat profile, roofline attribution and run_report.json."""
+
+import json
+
+import pytest
+
+from repro.hardware import PRIOR_DESIGNS
+from repro.obs import MetricsRegistry, Tracer, state
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA,
+    SCHEMA_ID,
+    attribute_runtime,
+    build_run_report,
+    cost_dict,
+    render_flat_profile,
+    to_chrome_trace,
+    validate_run_report,
+    write_chrome_trace,
+)
+from repro.params import BASELINE_JUNG
+from repro.perf import BootstrapModel, MADConfig
+from repro.perf.events import CostReport, MemTraffic, OpCount
+
+BOOTSTRAP_PHASES = ("ModRaise", "CoeffToSlot", "EvalMod", "SlotToCoeff")
+
+
+@pytest.fixture(scope="module")
+def traced_bootstrap():
+    """One traced bootstrap run: (tracer, registry, untraced total)."""
+    model = BootstrapModel(BASELINE_JUNG, MADConfig.none())
+    untraced = model.total_cost()
+    with state.capture() as (tracer, registry):
+        model.ledger()
+    return tracer, registry, untraced
+
+
+class TestChromeTrace:
+    def test_structure(self, traced_bootstrap):
+        tracer, _, _ = traced_bootstrap
+        doc = to_chrome_trace(tracer, metadata={"params": "baseline"})
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"params": "baseline"}
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == sum(1 for _ in tracer.spans())
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["cat"] == "repro"
+
+    def test_covers_all_bootstrap_phases(self, traced_bootstrap):
+        tracer, _, _ = traced_bootstrap
+        names = {e["name"] for e in to_chrome_trace(tracer)["traceEvents"]}
+        for phase in BOOTSTRAP_PHASES:
+            assert phase in names
+
+    def test_costed_spans_carry_cost_args(self, traced_bootstrap):
+        tracer, _, untraced = traced_bootstrap
+        events = to_chrome_trace(tracer)["traceEvents"]
+        costed = [e for e in events if e["ph"] == "X" and "cost" in e["args"]]
+        assert costed
+        assert sum(e["args"]["ops"] for e in costed) == untraced.ops.total
+        assert sum(e["args"]["bytes"] for e in costed) == untraced.traffic.total
+
+    def test_is_json_serializable(self, traced_bootstrap):
+        tracer, _, _ = traced_bootstrap
+        json.dumps(to_chrome_trace(tracer))
+
+    def test_write_to_disk(self, traced_bootstrap, tmp_path):
+        tracer, _, _ = traced_bootstrap
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_unserializable_meta_falls_back_to_repr(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()):
+            pass
+        doc = to_chrome_trace(tracer)
+        json.dumps(doc)  # must not raise
+        assert "object" in doc["traceEvents"][1]["args"]["obj"]
+
+
+class TestFlatProfile:
+    def test_totals_match_model(self, traced_bootstrap):
+        tracer, _, untraced = traced_bootstrap
+        text = render_flat_profile(tracer)
+        assert "Span" in text and "Ops%" in text
+        total_line = text.splitlines()[-1]
+        assert f"{untraced.giga_ops():9.2f}" in total_line
+        assert "100.0%" in total_line
+
+    def test_long_names_are_truncated(self):
+        tracer = Tracer()
+        with tracer.span("x" * 60):
+            pass
+        for line in render_flat_profile(tracer).splitlines():
+            if "…" in line:
+                break
+        else:
+            pytest.fail("expected a truncated span label")
+
+    def test_empty_tracer(self):
+        text = render_flat_profile(Tracer())
+        assert "Total" in text
+
+
+class TestAttributeRuntime:
+    def test_annotates_costed_spans(self, traced_bootstrap):
+        tracer, _, untraced = traced_bootstrap
+        design = PRIOR_DESIGNS["BTS"]
+        overall = attribute_runtime(tracer, design)
+        assert overall is not None
+        assert overall.seconds > 0
+        costed = [s for s in tracer.spans() if s.total_cost() is not None]
+        assert costed
+        for span in costed:
+            assert span.meta["design"] == design.name
+            assert span.meta["bound"] in ("compute", "memory")
+            assert span.meta["roofline_seconds"] == pytest.approx(
+                max(span.meta["compute_seconds"], span.meta["memory_seconds"])
+            )
+
+    def test_empty_tracer_returns_none(self):
+        assert attribute_runtime(Tracer(), PRIOR_DESIGNS["BTS"]) is None
+
+
+class TestRunReport:
+    def test_build_and_validate(self, traced_bootstrap):
+        tracer, registry, untraced = traced_bootstrap
+        report = build_run_report(
+            tracer,
+            registry,
+            command="trace bootstrap",
+            workload="bootstrap",
+            params="baseline",
+            config={"cache_o1": False},
+        )
+        validate_run_report(report)
+        json.dumps(report)
+        assert report["schema"] == SCHEMA_ID
+        assert report["totals"]["ops"] == {
+            "mults": untraced.ops.mults,
+            "adds": untraced.ops.adds,
+            "total": untraced.ops.total,
+        }
+        assert report["totals"]["traffic"]["total"] == untraced.traffic.total
+        assert len(report["spans"]) == sum(1 for _ in tracer.spans())
+        assert report["metrics"]["counters"]
+
+    def test_schema_constant_is_draft07(self):
+        assert RUN_REPORT_SCHEMA["$id"] == SCHEMA_ID
+        assert "required" in RUN_REPORT_SCHEMA
+
+    def test_empty_tracer_report_is_valid(self):
+        report = build_run_report(Tracer(), MetricsRegistry(), command="x")
+        validate_run_report(report)
+        assert report["totals"]["ops"]["total"] == 0
+        assert report["totals"]["arithmetic_intensity"] == 0.0
+
+    def test_all_compute_run_serializes_infinite_ai_as_minus_one(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.record_cost(CostReport(OpCount(mults=5), MemTraffic()))
+        report = build_run_report(tracer, MetricsRegistry(), command="x")
+        validate_run_report(report)
+        json.dumps(report)  # inf would not survive strict JSON
+        assert report["totals"]["arithmetic_intensity"] == -1.0
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda r: r.pop("spans"),
+            lambda r: r.pop("metrics"),
+            lambda r: r.update(schema="bogus/v0"),
+            lambda r: r.update(wall_seconds=-1.0),
+            lambda r: r["totals"]["ops"].update(total=-5),
+            lambda r: r["spans"].append({"name": "x"}),
+            lambda r: r["metrics"].pop("counters"),
+        ],
+    )
+    def test_rejects_corrupted_reports(self, traced_bootstrap, corrupt):
+        tracer, registry, _ = traced_bootstrap
+        report = build_run_report(tracer, registry, command="trace bootstrap")
+        corrupt(report)
+        with pytest.raises(ValueError):
+            validate_run_report(report)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_run_report([])
+
+    def test_matches_jsonschema_if_available(self, traced_bootstrap):
+        jsonschema = pytest.importorskip("jsonschema")
+        tracer, registry, _ = traced_bootstrap
+        report = build_run_report(tracer, registry, command="trace bootstrap")
+        jsonschema.validate(report, RUN_REPORT_SCHEMA)
+
+    def test_cost_dict_roundtrip(self):
+        cost = CostReport(OpCount(3, 4), MemTraffic(1, 2, 3, 4))
+        payload = cost_dict(cost)
+        assert payload["ops"]["total"] == 7
+        assert payload["traffic"]["total"] == 10
+        assert payload["arithmetic_intensity"] == cost.arithmetic_intensity

@@ -1,0 +1,112 @@
+"""Metrics instruments, the registry, and instrumented call sites."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, state
+from repro.params import BASELINE_JUNG
+from repro.perf import CacheModel, MADConfig, PrimitiveCosts
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("size")
+        gauge.set(3.5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram(self):
+        hist = Histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_snapshot(self):
+        assert Histogram("empty").snapshot() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(4.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2, "b": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestInstrumentedCallSites:
+    """The model code feeds the registry when metrics are enabled."""
+
+    def test_cache_fit_decisions_are_counted(self):
+        cache = CacheModel.from_mb(64)
+        with state.capture() as (_, registry):
+            cache.fits_o1(BASELINE_JUNG)
+            cache.fits_beta(BASELINE_JUNG)
+        counters = registry.counters()
+        assert counters["perf.cache.o1.queries"] == 1
+        assert counters["perf.cache.beta.queries"] == 1
+        # Every query lands in exactly one of fit/nofit.
+        fit = counters.get("perf.cache.o1.fit", 0)
+        nofit = counters.get("perf.cache.o1.nofit", 0)
+        assert fit + nofit == 1
+
+    def test_primitive_invocations_are_counted(self):
+        costs = PrimitiveCosts(BASELINE_JUNG, MADConfig.none())
+        with state.capture() as (_, registry):
+            costs.key_switch(10)
+            costs.mult(10)
+        counters = registry.counters()
+        assert counters["perf.primitives.mult"] == 1
+        # mult() itself performs a key switch.
+        assert counters["perf.primitives.key_switch"] >= 1
+
+    def test_ntt_invocations_are_counted(self):
+        from repro.numth.ntt import NttContext
+
+        ntt = NttContext(n=8, q=17)
+        with state.capture() as (_, registry):
+            ntt.inverse(ntt.forward([1, 2, 3, 4, 5, 6, 7, 8]))
+        counters = registry.counters()
+        assert counters["numth.ntt.forward"] == 1
+        assert counters["numth.ntt.inverse"] == 1
+
+    def test_nothing_recorded_when_disabled(self):
+        registry = MetricsRegistry()
+        previous = state.set_metrics(registry, enabled=False)
+        try:
+            CacheModel.from_mb(64).fits_o1(BASELINE_JUNG)
+            PrimitiveCosts(BASELINE_JUNG, MADConfig.none()).mult(10)
+        finally:
+            state.set_metrics(previous[0], enabled=previous[1])
+        assert len(registry) == 0

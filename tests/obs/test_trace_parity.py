@@ -1,0 +1,88 @@
+"""Tracing must be a pure observer: traced totals == untraced, bit for bit.
+
+The cost model is integer arithmetic throughout, so these assertions are
+exact equality — any divergence means a span recorded a cost twice, missed
+one, or fed something back into the model.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import helr_training, resnet20_inference, workload_cost
+from repro.obs import state
+from repro.params import BASELINE_JUNG, MAD_OPTIMAL
+from repro.perf import BootstrapModel, CacheModel, MADConfig
+
+BOOTSTRAP_PHASES = ("ModRaise", "CoeffToSlot", "EvalMod", "SlotToCoeff")
+
+
+@st.composite
+def mad_configs(draw):
+    """Any valid MADConfig (limb_reorder requires cache_alpha)."""
+    cache_alpha = draw(st.booleans())
+    return MADConfig(
+        cache_o1=draw(st.booleans()),
+        cache_beta=draw(st.booleans()),
+        cache_alpha=cache_alpha,
+        limb_reorder=cache_alpha and draw(st.booleans()),
+        mod_down_merge=draw(st.booleans()),
+        mod_down_hoist=draw(st.booleans()),
+        key_compression=draw(st.booleans()),
+    )
+
+
+PARAM_SETS = st.sampled_from([BASELINE_JUNG, MAD_OPTIMAL])
+CACHES = st.sampled_from([None, 32.0, 256.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=mad_configs(), params=PARAM_SETS, cache_mb=CACHES)
+def test_traced_bootstrap_totals_are_bit_identical(config, params, cache_mb):
+    cache = CacheModel.from_mb(cache_mb) if cache_mb else None
+    untraced = BootstrapModel(params, config, cache).total_cost()
+    with state.capture() as (tracer, _):
+        traced = BootstrapModel(params, config, cache).total_cost()
+    assert traced == untraced
+    # Spans record each cost exactly once, so the span sum is the total.
+    assert tracer.total_cost() == untraced
+    with state.capture() as (tracer, _):
+        ledger = BootstrapModel(params, config, cache).ledger()
+    assert ledger.total == untraced
+    assert tracer.total_cost() == untraced
+
+
+@settings(max_examples=10, deadline=None)
+@given(config=mad_configs(), params=PARAM_SETS)
+def test_traced_span_tree_covers_all_phases(config, params):
+    with state.capture() as (tracer, _):
+        BootstrapModel(params, config).ledger()
+    names = {span.name for span in tracer.spans()}
+    for phase in BOOTSTRAP_PHASES:
+        assert phase in names
+    (root,) = tracer.roots
+    assert root.name == "Bootstrap"
+    assert root.end is not None
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    config=mad_configs(),
+    params=PARAM_SETS,
+    factory=st.sampled_from([helr_training, resnet20_inference]),
+)
+def test_traced_workload_totals_are_bit_identical(config, params, factory):
+    workload = factory(params)
+    untraced = workload_cost(workload, params, config)
+    with state.capture() as (tracer, _):
+        traced = workload_cost(workload, params, config)
+    assert traced.compute == untraced.compute
+    assert traced.bootstrap == untraced.bootstrap
+    assert tracer.total_cost() == untraced.total
+
+
+def test_repeated_runs_accumulate_independent_roots():
+    with state.capture() as (tracer, _):
+        BootstrapModel(BASELINE_JUNG, MADConfig.none()).ledger()
+        BootstrapModel(BASELINE_JUNG, MADConfig.none()).ledger()
+    assert len(tracer.roots) == 2
+    single = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+    assert tracer.total_cost() == single.scaled(2)

@@ -1,0 +1,202 @@
+"""Tracer span trees, the null fast path, and the global-state facade."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    state,
+)
+from repro.obs.tracer import _NULL_CONTEXT
+from repro.perf.events import CostReport, MemTraffic, OpCount
+
+
+def fake_clock(start=0.0, step=1.0):
+    """Deterministic clock: returns start, start+step, start+2*step, ..."""
+    tick = {"now": start - step}
+
+    def clock():
+        tick["now"] += step
+        return tick["now"]
+
+    return clock
+
+
+def cost(mults=1, ct_read=10):
+    return CostReport(OpCount(mults=mults), MemTraffic(ct_read=ct_read))
+
+
+class TestTracer:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["root", "a", "leaf", "b"]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.children[0].children[0].parent is root.children[0]
+
+    def test_depths(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        depths = {s.name: s.depth for s in tracer.spans()}
+        assert depths == {"root": 0, "child": 1, "grandchild": 2}
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_durations_use_injected_clock(self):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with tracer.span("outer"):  # opens at t=0
+            with tracer.span("inner"):  # opens at t=1, closes at t=2
+                pass
+        # outer closes at t=3
+        inner = tracer.roots[0].children[0]
+        assert inner.duration == pytest.approx(1.0)
+        assert tracer.roots[0].duration == pytest.approx(3.0)
+
+    def test_record_cost_accumulates_on_current_span(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.record_cost(cost(mults=1))
+            tracer.record_cost(cost(mults=2))
+        assert tracer.roots[0].cost == cost(mults=3, ct_read=20)
+
+    def test_record_cost_outside_spans_is_a_noop(self):
+        tracer = Tracer()
+        tracer.record_cost(cost())
+        assert tracer.total_cost() is None
+
+    def test_total_cost_sums_exclusive_costs(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.record_cost(cost(mults=1))
+            with tracer.span("child"):
+                tracer.record_cost(cost(mults=10))
+        assert tracer.total_cost() == cost(mults=11, ct_read=20)
+
+    def test_span_total_cost_is_inclusive(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.record_cost(cost(mults=1))
+            with tracer.span("child"):
+                tracer.record_cost(cost(mults=10))
+        root = tracer.roots[0]
+        assert root.cost == cost(mults=1)
+        assert root.total_cost() == cost(mults=11, ct_read=20)
+
+    def test_meta_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("s", level=3, name="meta-key-named-name") as span:
+            tracer.annotate(bound="memory")
+        assert span.meta == {
+            "level": 3,
+            "name": "meta-key-named-name",
+            "bound": "memory",
+        }
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("s"):
+                raise RuntimeError("boom")
+        assert tracer.current is None
+        assert tracer.roots[0].end is not None
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+
+class TestNullTracer:
+    def test_span_returns_shared_context(self):
+        ctx1 = NULL_TRACER.span("a", level=1)
+        ctx2 = NULL_TRACER.span("b")
+        assert ctx1 is ctx2 is _NULL_CONTEXT
+
+    def test_is_reentrant_and_records_nothing(self):
+        with NULL_TRACER.span("outer") as outer:
+            with NULL_TRACER.span("inner") as inner:
+                outer.record_cost(cost())
+                inner.annotate(x=1)
+        NULL_TRACER.record_cost(cost())
+        NULL_TRACER.annotate(y=2)
+        assert list(NULL_TRACER.spans()) == []
+        assert NULL_TRACER.total_cost() is None
+        assert NULL_TRACER.current is None
+        assert not NULL_TRACER.enabled
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert state.get_tracer() is NULL_TRACER
+        assert not state.tracing_enabled()
+        assert not state.metrics_enabled()
+
+    def test_set_tracer_roundtrip(self):
+        tracer = Tracer()
+        previous = state.set_tracer(tracer)
+        try:
+            assert state.get_tracer() is tracer
+            assert state.tracing_enabled()
+            with state.span("s"):
+                state.record_cost(cost())
+            assert tracer.total_cost() == cost()
+        finally:
+            state.set_tracer(
+                previous if previous is not NULL_TRACER else None
+            )
+        assert state.get_tracer() is NULL_TRACER
+
+    def test_capture_installs_and_restores(self):
+        assert not state.tracing_enabled()
+        with state.capture() as (tracer, registry):
+            assert state.get_tracer() is tracer
+            assert state.metrics() is registry
+            assert state.tracing_enabled() and state.metrics_enabled()
+            state.count("hits")
+            with state.span("s"):
+                state.record_cost(cost())
+        assert not state.tracing_enabled()
+        assert not state.metrics_enabled()
+        assert registry.counter("hits").value == 1
+        assert tracer.total_cost() == cost()
+
+    def test_capture_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with state.capture():
+                raise RuntimeError("boom")
+        assert not state.tracing_enabled()
+        assert not state.metrics_enabled()
+
+    def test_capture_accepts_existing_objects(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with state.capture(tracer=tracer, registry=registry) as (t, r):
+            assert t is tracer and r is registry
+
+    def test_count_is_noop_when_disabled(self):
+        before = state.metrics().snapshot()
+        state.count("never.recorded")
+        state.gauge("never.recorded", 1.0)
+        state.observe("never.recorded", 1.0)
+        assert state.metrics().snapshot() == before

@@ -65,3 +65,42 @@ class TestCostReport:
         c = CostReport(OpCount(mults=2 * 10**9), MemTraffic(ct_read=5 * 10**8))
         assert c.giga_ops() == pytest.approx(2.0)
         assert c.gigabytes() == pytest.approx(0.5)
+
+
+class TestSumSupport:
+    """``sum()`` starts from the int 0; ``__radd__`` makes it work."""
+
+    def test_sum_op_counts(self):
+        counts = [OpCount(1, 2), OpCount(3, 4), OpCount(5, 6)]
+        assert sum(counts) == OpCount(9, 12)
+
+    def test_sum_mem_traffic(self):
+        traffic = [MemTraffic(1, 0, 0, 0), MemTraffic(0, 2, 3, 4)]
+        assert sum(traffic) == MemTraffic(1, 2, 3, 4)
+
+    def test_sum_cost_reports(self):
+        costs = [
+            CostReport(OpCount(mults=1), MemTraffic(ct_read=10)),
+            CostReport(OpCount(adds=2), MemTraffic(key_read=20)),
+        ]
+        total = sum(costs)
+        assert total.ops == OpCount(mults=1, adds=2)
+        assert total.traffic == MemTraffic(ct_read=10, key_read=20)
+
+    def test_sum_of_empty_sequence_is_int_zero(self):
+        assert sum([]) == 0
+
+    @pytest.mark.parametrize(
+        "value",
+        [OpCount(1, 2), MemTraffic(1, 2, 3, 4),
+         CostReport(OpCount(1, 1), MemTraffic(ct_read=5))],
+    )
+    def test_zero_plus_value_is_identity(self, value):
+        assert 0 + value == value
+
+    @pytest.mark.parametrize(
+        "value", [OpCount(), MemTraffic(), CostReport()]
+    )
+    def test_nonzero_int_addition_is_rejected(self, value):
+        with pytest.raises(TypeError):
+            1 + value

@@ -82,3 +82,71 @@ class TestBootstrapLedger:
             ledger.traffic_fraction(label) for label in ledger.by_label()
         )
         assert total == pytest.approx(1.0)
+
+
+class TestLedgerEdgeCases:
+    def test_empty_ledger_total_is_zero_cost(self):
+        assert CostLedger().total == CostReport()
+
+    def test_unknown_label_raises_even_on_empty_ledger(self):
+        with pytest.raises(KeyError):
+            CostLedger().traffic_fraction("anything")
+        with pytest.raises(KeyError):
+            CostLedger().ops_fraction("anything")
+
+    def test_known_label_with_zero_totals_is_zero_fraction(self):
+        ledger = CostLedger()
+        ledger.add("idle", CostReport())
+        assert ledger.traffic_fraction("idle") == 0.0
+        assert ledger.ops_fraction("idle") == 0.0
+
+    def test_ops_fraction_unknown_label_raises(self):
+        ledger = CostLedger()
+        ledger.add("a", CostReport(OpCount(mults=1)))
+        with pytest.raises(KeyError):
+            ledger.ops_fraction("zzz")
+
+    def test_repeated_labels_merge_in_fractions(self):
+        ledger = CostLedger()
+        ledger.add("x", CostReport(OpCount(mults=1), MemTraffic(ct_read=25)))
+        ledger.add("y", CostReport(OpCount(mults=1), MemTraffic(ct_read=50)))
+        ledger.add("x", CostReport(OpCount(mults=2), MemTraffic(ct_read=25)))
+        assert ledger.traffic_fraction("x") == pytest.approx(0.5)
+        assert ledger.ops_fraction("x") == pytest.approx(0.75)
+
+
+class TestLedgerRender:
+    def test_fraction_columns_present(self):
+        ledger = CostLedger()
+        ledger.add("a", CostReport(OpCount(mults=3), MemTraffic(ct_read=10)))
+        ledger.add("b", CostReport(OpCount(mults=1), MemTraffic(ct_read=30)))
+        text = ledger.render()
+        header = text.splitlines()[0]
+        assert "Ops%" in header and "GB%" in header
+        assert "75.0%" in text and "25.0%" in text
+
+    def test_long_labels_are_truncated_to_column_width(self):
+        ledger = CostLedger()
+        long_label = "a-very-long-component-label-over-24-chars"
+        ledger.add(long_label, CostReport(OpCount(mults=1)))
+        ledger.add("short", CostReport(OpCount(mults=1)))
+        lines = ledger.render().splitlines()
+        rule = lines[1]
+        row = next(line for line in lines if "…" in line)
+        assert long_label not in row
+        assert len(row) == len(rule)
+
+    def test_columns_stay_aligned(self):
+        ledger = CostLedger()
+        ledger.add("x" * 40, CostReport(OpCount(mults=1), MemTraffic(ct_read=1)))
+        ledger.add("y", CostReport(OpCount(adds=2), MemTraffic(ct_write=2)))
+        lines = ledger.render().splitlines()
+        gops_col = lines[0].index("Gops")
+        for line in lines[2:-2]:
+            # the Gops column begins right-aligned under the header
+            assert line[: gops_col + 4].strip()
+
+    def test_empty_ledger_renders_zero_totals(self):
+        text = CostLedger().render()
+        assert "Total" in text
+        assert "0.0%" in text

@@ -69,3 +69,135 @@ class TestCliCommands:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonOutput:
+    """--json renders each table as parseable JSON."""
+
+    def test_table4_json(self, capsys):
+        import json
+
+        assert main(["table4", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["operation"] for row in rows} >= {"Mult", "Bootstrap"}
+        assert all("giga_ops" in row for row in rows)
+
+    def test_table6_json(self, capsys):
+        import json
+
+        assert main(["table6", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any("MAD-32" in row["design"] for row in rows)
+
+    def test_fig2_json(self, capsys):
+        import json
+
+        assert main(["fig2", "--json"]) == 0
+        points = json.loads(capsys.readouterr().out)
+        assert points[0]["reduction_vs_baseline"] == 0.0
+
+    def test_fig3_json(self, capsys):
+        import json
+
+        assert main(["fig3", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)
+
+    def test_bootstrap_json(self, capsys):
+        import json
+
+        assert main(["bootstrap", "--json", "--config", "all"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["phases"]) == {
+            "ModRaise", "CoeffToSlot", "EvalMod", "SlotToCoeff",
+        }
+        assert payload["total"]["ops"]["total"] == sum(
+            phase["ops"]["total"] for phase in payload["phases"].values()
+        )
+        assert payload["config"]["key_compression"] is True
+
+    def test_ledger_json(self, capsys):
+        import json
+
+        assert main(["ledger", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "EvalMod:Mult" in payload["components"]
+        assert payload["total"]["traffic"]["total"] == sum(
+            c["traffic"]["total"] for c in payload["components"].values()
+        )
+
+
+class TestTraceCommand:
+    def test_trace_bootstrap_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.params import BASELINE_JUNG
+        from repro.perf import BootstrapModel, MADConfig
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "bootstrap", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Span" in stdout and str(out) in stdout
+
+        doc = json.loads(out.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert names >= {"ModRaise", "CoeffToSlot", "EvalMod", "SlotToCoeff"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+
+        untraced = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
+        costed = [e for e in events if "cost" in e["args"]]
+        assert sum(e["args"]["ops"] for e in costed) == untraced.ops.total
+        assert (
+            sum(e["args"]["bytes"] for e in costed) == untraced.traffic.total
+        )
+
+    def test_trace_writes_validated_run_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import SCHEMA_ID, validate_run_report
+
+        out = tmp_path / "trace.json"
+        report_path = tmp_path / "report.json"
+        assert main([
+            "trace", "bootstrap", "--out", str(out),
+            "--report", str(report_path), "--design", "BTS",
+            "--config", "all", "--cache-mb", "256",
+        ]) == 0
+        report = json.loads(report_path.read_text())
+        validate_run_report(report)
+        assert report["schema"] == SCHEMA_ID
+        assert report["command"] == "trace bootstrap"
+        assert report["config"]["key_compression"] is True
+        assert report["runtime"]["design"] == "BTS"
+        assert report["runtime"]["bound"] in ("compute", "memory")
+        assert report["metrics"]["counters"]
+
+    def test_trace_helr_workload(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "helr.json"
+        assert main(["trace", "helr", "--out", str(out)]) == 0
+        names = {
+            e["name"]
+            for e in json.loads(out.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "Workload" in names and "Bootstraps" in names
+
+    def test_trace_resnet_workload(self, tmp_path):
+        out = tmp_path / "resnet.json"
+        assert main(["trace", "resnet", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_leaves_tracing_disabled(self, tmp_path):
+        from repro.obs import state
+
+        assert main(
+            ["trace", "bootstrap", "--out", str(tmp_path / "t.json")]
+        ) == 0
+        assert not state.tracing_enabled()
+        assert not state.metrics_enabled()
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "bootstrap"])
