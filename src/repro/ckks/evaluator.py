@@ -47,6 +47,12 @@ RaisedPair = Tuple[RnsPolynomial, RnsPolynomial]
 class Evaluator:
     """Homomorphic evaluation engine bound to a context and key set.
 
+    Span labels emitted here (``ckks.Mult``, ``ckks.KeySwitch``, ...) must
+    stay constant across runs — cross-run diff alignment
+    (:mod:`repro.obs.diff`) keys on the label path.  Volatile values
+    (limb counts, digit counts, rotation steps) belong in span
+    attributes, not labels.
+
     Args:
         context: the scheme context.
         relin_key: switching key from ``s^2`` to ``s`` (needed by ``mult``).
@@ -91,6 +97,7 @@ class Evaluator:
         self, ct: Ciphertext, values: Union[Plaintext, Sequence[complex]]
     ) -> Ciphertext:
         """Add a plaintext vector; only touches ``c0`` (cheapest primitive)."""
+        obs.count("ckks.evaluator.pt_add")
         pt = self._as_plaintext(values, scale=ct.scale)
         self._check_scales(ct.scale, pt.scale)
         return Ciphertext(ct.c0 + pt.to_poly(ct.basis), ct.c1, ct.scale)

@@ -8,10 +8,15 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro bootstrap --params optimal --config all
     python -m repro search --multipliers 4096 --bandwidth 1000 --cache-mb 32
     python -m repro trace bootstrap --out trace.json --report run_report.json
+    python -m repro diff base_report.json run_report.json --json cost_diff.json
+    python -m repro bench --check
 
 Table commands accept ``--json`` for machine-readable output; ``trace``
 records a hierarchical span tree and writes it as Chrome trace-event JSON
-(viewable in Perfetto or ``chrome://tracing``).
+(viewable in Perfetto or ``chrome://tracing``); ``diff`` attributes the
+cost delta between two run reports span by span; ``bench`` gates the
+analytical workloads against the committed baselines in
+``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
@@ -275,8 +280,19 @@ def _cmd_trace(args) -> int:
         "config": args.config,
         "cache_mb": args.cache_mb,
     }
+    if args.metrics:
+        # Embed the registry snapshot so metric deltas (cache-fit
+        # decisions, NTT invocations) are diffable from the trace alone.
+        metadata["metrics"] = registry.snapshot()
     write_chrome_trace(tracer, args.out, metadata)
     print(render_flat_profile(tracer))
+    if args.metrics:
+        counters = registry.counters()
+        if counters:
+            width = max(len(name) for name in counters)
+            print("\nCounters")
+            for name, value in counters.items():
+                print(f"  {name:{width}} {value:>12,}")
     print(f"\nwrote Chrome trace to {args.out}")
 
     if args.report:
@@ -294,6 +310,65 @@ def _cmd_trace(args) -> int:
             json.dump(report, handle, indent=1, sort_keys=True)
         print(f"wrote run report to {args.report}")
     return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import (
+        build_overlay_trace,
+        diff_run_reports,
+        render_attribution_table,
+        write_cost_diff,
+    )
+
+    with open(args.base) as handle:
+        base = json.load(handle)
+    with open(args.other) as handle:
+        other = json.load(handle)
+    diff = diff_run_reports(
+        base,
+        other,
+        rename_tolerance=not args.no_renames,
+        require_same_workload=not args.force,
+    )
+    print(render_attribution_table(diff, top=args.top))
+    if args.json:
+        write_cost_diff(diff, args.json)
+        print(f"\nwrote cost diff to {args.json}")
+    if args.overlay:
+        with open(args.overlay, "w") as handle:
+            json.dump(build_overlay_trace(base, other, diff), handle, indent=1)
+        print(f"wrote Chrome-trace overlay to {args.overlay}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.baseline import BaselineStore, Tolerance
+    from repro.obs.bench import DEFAULT_SPECS, run_bench
+
+    specs = DEFAULT_SPECS
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        specs = tuple(
+            spec for spec in specs if any(w in spec.name for w in wanted)
+        )
+        if not specs:
+            known = ", ".join(spec.name for spec in DEFAULT_SPECS)
+            raise SystemExit(
+                f"no bench workloads match {args.workloads!r}; known: {known}"
+            )
+    if args.list:
+        for spec in specs:
+            print(spec.name)
+        return 0
+    store = BaselineStore(args.baseline_dir) if args.baseline_dir else BaselineStore()
+    code = run_bench(
+        specs,
+        store,
+        update=args.update,
+        tolerance=Tolerance(relative=args.rel_tol, absolute=args.abs_tol),
+        out_dir=args.out_dir,
+    )
+    return code if args.check or args.update else 0
 
 
 def _cmd_search(args) -> int:
@@ -394,7 +469,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--report", default=None, help="also write run_report.json here"
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print MetricsRegistry counters and embed them in the trace",
+    )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential cost attribution between two run reports",
+    )
+    p.add_argument("base", help="baseline run_report.json")
+    p.add_argument("other", help="comparison run_report.json")
+    p.add_argument(
+        "--json", default=None, help="write machine-readable cost_diff.json"
+    )
+    p.add_argument(
+        "--overlay",
+        default=None,
+        help="write a Chrome-trace overlay of both runs",
+    )
+    p.add_argument("--top", type=int, default=20, help="span rows to print")
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="diff even when the reports ran different workloads",
+    )
+    p.add_argument(
+        "--no-renames",
+        action="store_true",
+        help="disable positional rename alignment of unmatched spans",
+    )
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the analytical bench matrix against committed baselines",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any cost regression or missing baseline",
+    )
+    p.add_argument(
+        "--update",
+        action="store_true",
+        help="(re)write the baseline snapshots instead of gating",
+    )
+    p.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated substrings selecting bench workloads",
+    )
+    p.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    p.add_argument(
+        "--out-dir",
+        default=None,
+        help="write BENCH_*.json trajectories and cost_diff_*.json here",
+    )
+    p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="relative cost growth tolerated before failing",
+    )
+    p.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.0,
+        help="absolute cost growth tolerated before failing",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list bench workloads and exit"
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("balance", help="roofline balance of MAD design points")
     p.set_defaults(func=_cmd_balance)

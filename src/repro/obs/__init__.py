@@ -11,7 +11,15 @@ The subsystem has three layers:
   disabled;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``), a flat text profile, and the versioned
-  ``run_report.json`` schema.
+  ``run_report.json`` schema (every span carries a stable hierarchical
+  *path*, the cross-run alignment key);
+* :mod:`repro.obs.diff` — differential cost attribution between two run
+  reports: span-by-span alignment with rename tolerance, per-stream
+  traffic deltas, a sorted attribution table, a Chrome-trace overlay and
+  the versioned ``cost_diff.json`` schema;
+* :mod:`repro.obs.baseline` / :mod:`repro.obs.bench` — committed
+  baseline snapshots (``benchmarks/baselines/``) and the
+  ``python -m repro bench`` regression gate built on the diff engine.
 
 Typical use::
 

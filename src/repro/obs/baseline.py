@@ -1,0 +1,213 @@
+"""Baseline snapshot store and cost-regression comparison.
+
+A *baseline* is a committed ``run_report.json`` (see
+:mod:`repro.obs.export`) for one bench workload — one file per
+workload × design × cache size under ``benchmarks/baselines/``.  Before
+a baseline is written it is **normalized**: wall-clock fields are zeroed
+so the committed fixture is deterministic (the analytical cost model is
+exact integer arithmetic; timing is machine noise and is tracked in the
+``BENCH_*.json`` trajectories instead, never gated).
+
+:func:`compare_reports` gates the analytical totals — op counts and every
+DRAM traffic stream — against a configurable :class:`Tolerance` and
+attributes any regression to the spans that caused it via
+:mod:`repro.obs.diff`.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.diff import diff_run_reports, render_attribution_table
+from repro.obs.export import validate_run_report
+
+#: Default directory of committed baselines, relative to the repo root.
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+#: (label, section, key) triples gated by :func:`compare_reports`.
+GATED_TOTALS = (
+    ("ops.mults", "ops", "mults"),
+    ("ops.adds", "ops", "adds"),
+    ("ops.total", "ops", "total"),
+    ("traffic.ct_read", "traffic", "ct_read"),
+    ("traffic.ct_write", "traffic", "ct_write"),
+    ("traffic.key_read", "traffic", "key_read"),
+    ("traffic.pt_read", "traffic", "pt_read"),
+    ("traffic.total", "traffic", "total"),
+)
+
+
+def baseline_key(
+    workload: str,
+    params: str,
+    config: str,
+    cache_mb: Optional[float] = None,
+    design: Optional[str] = None,
+) -> str:
+    """Filename-safe identity of one baseline (workload × design × cache)."""
+    parts = [workload, params, config]
+    parts.append(f"cache{cache_mb:g}" if cache_mb else "nocache")
+    if design:
+        parts.append(design)
+    slug = "__".join(parts).lower()
+    return re.sub(r"[^a-z0-9_.-]+", "-", slug)
+
+
+def normalize_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep copy with all wall-clock fields zeroed (deterministic fixture)."""
+    normalized = copy.deepcopy(report)
+    normalized["wall_seconds"] = 0.0
+    for span in normalized.get("spans", ()):
+        span["start_us"] = 0.0
+        span["duration_us"] = 0.0
+    return normalized
+
+
+class BaselineStore:
+    """Load/save normalized run reports under a baselines directory."""
+
+    def __init__(self, root: str = DEFAULT_BASELINE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def exists(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        with open(path) as handle:
+            report = json.load(handle)
+        validate_run_report(report)
+        return report
+
+    def save(self, key: str, report: Dict[str, Any]) -> Path:
+        normalized = normalize_report(report)
+        validate_run_report(normalized)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        with open(path, "w") as handle:
+            json.dump(normalized, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def keys(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Regression slack: a cost may grow by ``max(absolute, base*relative)``.
+
+    Both default to zero — the analytical model is deterministic, so any
+    growth is a real regression unless explicitly tolerated.
+    """
+
+    relative: float = 0.0
+    absolute: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.relative < 0 or self.absolute < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def slack(self, base: float) -> float:
+        return max(self.absolute, base * self.relative)
+
+    def allows(self, base: float, current: float) -> bool:
+        return current <= base + self.slack(base)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that grew beyond tolerance."""
+
+    metric: str
+    base: int
+    current: int
+    allowed: float
+
+    def describe(self) -> str:
+        rel = (self.current - self.base) / self.base if self.base else float("inf")
+        return (
+            f"{self.metric}: {self.base:,} -> {self.current:,} "
+            f"({rel:+.2%}, allowed <= {self.allowed:,.0f})"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing one run against its committed baseline."""
+
+    workload: str
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    diff: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        if self.ok:
+            if self.improvements:
+                return (
+                    f"{self.workload}: ok "
+                    f"(improved: {', '.join(self.improvements)})"
+                )
+            return f"{self.workload}: ok (costs unchanged)"
+        lines = [f"{self.workload}: REGRESSION"]
+        lines += [f"  {r.describe()}" for r in self.regressions]
+        if self.diff is not None:
+            lines.append(render_attribution_table(self.diff, top=10))
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: Tolerance = Tolerance(),
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline`` on every analytical total.
+
+    Wall-clock time is deliberately not gated (report-only); the span
+    attribution of any delta comes from :func:`~repro.obs.diff
+    .diff_run_reports` and is included in the result for rendering.
+    """
+    base_totals = baseline.get("totals", {})
+    cur_totals = current.get("totals", {})
+    regressions: List[Regression] = []
+    improvements: List[str] = []
+    for label, section, key in GATED_TOTALS:
+        base_value = int(base_totals.get(section, {}).get(key, 0))
+        cur_value = int(cur_totals.get(section, {}).get(key, 0))
+        if not tolerance.allows(base_value, cur_value):
+            regressions.append(
+                Regression(
+                    metric=label,
+                    base=base_value,
+                    current=cur_value,
+                    allowed=base_value + tolerance.slack(base_value),
+                )
+            )
+        elif cur_value < base_value:
+            improvements.append(label)
+
+    comparison = BenchComparison(
+        workload=current.get("workload", "") or baseline.get("workload", ""),
+        regressions=regressions,
+        improvements=improvements,
+    )
+    diff = diff_run_reports(baseline, current, require_same_workload=False)
+    if not diff["identical"]:
+        comparison.diff = diff
+    return comparison

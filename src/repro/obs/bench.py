@@ -1,0 +1,288 @@
+"""``python -m repro bench``: the performance-regression harness.
+
+Re-runs the analytical workloads (bootstrap, HELR training, ResNet-20
+inference, plus a primitive micro-workload sweep) under tracing, records
+the simulator's own wall-clock time and the analytical costs, and
+compares each run against its committed baseline snapshot
+(``benchmarks/baselines/*.json``, one per workload × design × cache
+size) with configurable tolerances.  Analytical-cost growth beyond
+tolerance is a *regression*: the run exits non-zero and the offending
+spans are named by the :mod:`repro.obs.diff` attribution table.
+Wall-clock time is report-only — it lands in the ``BENCH_<workload>.json``
+trajectory files, never in the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import state as obs
+from repro.obs.baseline import (
+    BaselineStore,
+    BenchComparison,
+    Tolerance,
+    baseline_key,
+    compare_reports,
+)
+from repro.obs.diff import write_cost_diff
+from repro.obs.export import (
+    attribute_runtime,
+    build_run_report,
+    validate_run_report,
+)
+
+TRAJECTORY_SCHEMA_ID = "repro.obs.bench_trajectory/v1"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One bench workload: what to run and which baseline gates it."""
+
+    workload: str  # "micro" | "bootstrap" | "helr" | "resnet"
+    params: str  # parameter-set name in repro.cli._PARAM_SETS
+    config: str  # MAD config name in repro.cli._CONFIGS
+    cache_mb: Optional[float] = None
+    design: Optional[str] = None  # roofline attribution (report-only)
+
+    @property
+    def name(self) -> str:
+        return baseline_key(
+            self.workload, self.params, self.config, self.cache_mb, self.design
+        )
+
+
+#: The committed bench matrix — every entry has a baseline fixture.
+DEFAULT_SPECS: Tuple[BenchSpec, ...] = (
+    BenchSpec("micro", "baseline", "none"),
+    BenchSpec("micro", "optimal", "all"),
+    BenchSpec("bootstrap", "baseline", "none"),
+    BenchSpec("bootstrap", "optimal", "caching", cache_mb=256.0),
+    BenchSpec("bootstrap", "optimal", "all"),
+    BenchSpec("bootstrap", "optimal", "all", cache_mb=256.0, design="BTS"),
+    BenchSpec("helr", "optimal", "all", cache_mb=256.0, design="BTS"),
+    BenchSpec("resnet", "optimal", "all", cache_mb=256.0, design="BTS"),
+)
+
+
+def primitive_micro_cost(params, config, cache=None):
+    """Traced per-primitive micro-workload at a representative level.
+
+    One span per homomorphic primitive, each recording exactly its unit
+    cost — the finest-grained regression probe: a cost change in any
+    single primitive is attributed directly instead of smeared across a
+    bootstrap phase.
+    """
+    from repro.perf import PrimitiveCosts
+    from repro.perf.events import CostReport
+
+    costs = PrimitiveCosts(params, config, cache)
+    level = max(2, round(params.max_limbs * 0.6))
+    units: Tuple[Tuple[str, Callable], ...] = (
+        ("Add", costs.add),
+        ("PtAdd", costs.pt_add),
+        ("PtMult", costs.pt_mult),
+        ("Mult", costs.mult),
+        ("Rotate", costs.rotate),
+        ("Conjugate", costs.conjugate),
+        ("KeySwitch", costs.key_switch),
+        ("Rescale", costs.rescale),
+        ("Automorph", costs.automorph),
+    )
+    total = CostReport()
+    with obs.span("Primitives", level=level, params=params.describe()):
+        for name, unit in units:
+            with obs.span(name, level=level):
+                cost = unit(level)
+                obs.record_cost(cost)
+            total = total + cost
+        with obs.span("ModRaise", level=level):
+            cost = costs.mod_raise(2, params.max_limbs)
+            obs.record_cost(cost)
+        total = total + cost
+    return total
+
+
+def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
+    """(zero-arg traced runner, workload display name) for a spec."""
+    from repro.cli import _CONFIGS, _PARAM_SETS
+    from repro.perf import BootstrapModel, CacheModel
+
+    params = _PARAM_SETS[spec.params]
+    config = _CONFIGS[spec.config]()
+    cache = CacheModel.from_mb(spec.cache_mb) if spec.cache_mb else None
+
+    if spec.workload == "micro":
+        return lambda: primitive_micro_cost(params, config, cache), "micro"
+    if spec.workload == "bootstrap":
+        return (
+            lambda: BootstrapModel(params, config, cache).ledger().total,
+            "bootstrap",
+        )
+    from repro.apps import helr_training, resnet20_inference, workload_cost
+
+    factory = helr_training if spec.workload == "helr" else resnet20_inference
+    workload = factory(params)
+    return (
+        lambda: workload_cost(workload, params, config, cache).total,
+        workload.name,
+    )
+
+
+def run_spec(spec: BenchSpec) -> Dict[str, Any]:
+    """Run one bench workload traced and return its run report."""
+    from dataclasses import asdict
+
+    from repro.cli import _CONFIGS
+
+    runner, workload_name = _runner(spec)
+    with obs.capture() as (tracer, registry):
+        runner()
+
+    runtime = None
+    if spec.design:
+        from repro.hardware import PRIOR_DESIGNS
+
+        estimate = attribute_runtime(tracer, PRIOR_DESIGNS[spec.design])
+        if estimate is not None:
+            runtime = {
+                "design": spec.design,
+                "compute_seconds": estimate.compute_seconds,
+                "memory_seconds": estimate.memory_seconds,
+                "roofline_seconds": estimate.seconds,
+                "bound": estimate.bound,
+            }
+
+    report = build_run_report(
+        tracer,
+        registry,
+        command=f"bench {spec.name}",
+        workload=workload_name,
+        params=spec.params,
+        config=asdict(_CONFIGS[spec.config]()),
+        runtime=runtime,
+    )
+    validate_run_report(report)
+    return report
+
+
+def _append_trajectory(
+    out_dir: Path, spec: BenchSpec, report: Dict[str, Any],
+    comparison: Optional[BenchComparison], runner_seconds: float,
+) -> Path:
+    """Append one entry to the workload's BENCH_<name>.json trajectory."""
+    path = out_dir / f"BENCH_{spec.name}.json"
+    trajectory: Dict[str, Any] = {
+        "schema": TRAJECTORY_SCHEMA_ID,
+        "workload": spec.name,
+        "entries": [],
+    }
+    if path.is_file():
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if (
+                isinstance(existing, dict)
+                and existing.get("schema") == TRAJECTORY_SCHEMA_ID
+                and isinstance(existing.get("entries"), list)
+            ):
+                trajectory = existing
+        except (OSError, ValueError):
+            pass  # corrupt trajectory: start a fresh one
+    trajectory["entries"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "wall_seconds": runner_seconds,
+            "trace_wall_seconds": report["wall_seconds"],
+            "ops_total": report["totals"]["ops"]["total"],
+            "traffic_total": report["totals"]["traffic"]["total"],
+            "arithmetic_intensity": report["totals"]["arithmetic_intensity"],
+            "ok": comparison.ok if comparison is not None else None,
+            "regressions": (
+                [r.metric for r in comparison.regressions]
+                if comparison is not None
+                else []
+            ),
+        }
+    )
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_bench(
+    specs: Tuple[BenchSpec, ...] = DEFAULT_SPECS,
+    store: Optional[BaselineStore] = None,
+    *,
+    update: bool = False,
+    tolerance: Tolerance = Tolerance(),
+    out_dir: Optional[str] = None,
+    printer: Callable[[str], None] = print,
+) -> int:
+    """Run the bench matrix; returns a process exit code.
+
+    ``update=True`` (re)writes every baseline instead of gating.  A
+    missing baseline is itself a failure in gating mode — the matrix is
+    meant to be fully committed.
+    """
+    store = store if store is not None else BaselineStore()
+    out_path = Path(out_dir) if out_dir else None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+
+    failures: List[str] = []
+    for spec in specs:
+        started = time.perf_counter()
+        report = run_spec(spec)
+        runner_seconds = time.perf_counter() - started
+
+        comparison: Optional[BenchComparison] = None
+        if update:
+            path = store.save(spec.name, report)
+            printer(
+                f"{spec.name}: baseline updated ({path}) — "
+                f"{report['totals']['ops']['total']:,} ops, "
+                f"{report['totals']['traffic']['total']:,} bytes, "
+                f"{runner_seconds * 1e3:.1f} ms"
+            )
+        else:
+            baseline = store.load(spec.name)
+            if baseline is None:
+                failures.append(spec.name)
+                printer(
+                    f"{spec.name}: MISSING baseline "
+                    f"({store.path_for(spec.name)}) — run "
+                    f"`python -m repro bench --update` and commit it"
+                )
+            else:
+                comparison = compare_reports(baseline, report, tolerance)
+                comparison.workload = spec.name
+                if comparison.ok:
+                    printer(
+                        comparison.describe()
+                        + f"  [{runner_seconds * 1e3:.1f} ms]"
+                    )
+                else:
+                    printer(comparison.describe())
+                    failures.append(spec.name)
+                if out_path is not None and comparison.diff is not None:
+                    write_cost_diff(
+                        comparison.diff,
+                        str(out_path / f"cost_diff_{spec.name}.json"),
+                    )
+
+        if out_path is not None:
+            _append_trajectory(out_path, spec, report, comparison, runner_seconds)
+
+    if failures:
+        printer(
+            f"\nbench FAILED: {len(failures)}/{len(specs)} workloads "
+            f"regressed or lack baselines: {', '.join(failures)}"
+        )
+        return 1
+    printer(f"\nbench ok: {len(specs)} workloads within tolerance")
+    return 0

@@ -22,6 +22,39 @@ from repro.perf.events import CostReport, MemTraffic, OpCount
 
 SCHEMA_ID = "repro.obs.run_report/v1"
 
+
+def compute_span_paths(names_and_depths) -> List[str]:
+    """Stable hierarchical paths for a pre-order ``(name, depth)`` sequence.
+
+    A span's path is its ancestors' names joined with ``/``; repeated
+    same-name siblings are disambiguated with a ``#<k>`` suffix (second
+    occurrence gets ``#2``), so the path of every span is unique and —
+    as long as span *labels* stay constant across runs — identical from
+    run to run.  This is the alignment key :mod:`repro.obs.diff` uses.
+    """
+    paths: List[str] = []
+    path_stack: List[str] = []
+    # counts_stack[d] counts name occurrences among depth-d siblings of
+    # the currently open depth-(d-1) span.
+    counts_stack: List[Dict[str, int]] = [{}]
+    for name, depth in names_and_depths:
+        if depth < 0 or depth > len(path_stack):
+            raise ValueError(
+                f"span {name!r} at depth {depth} does not follow its parent "
+                f"(open depth {len(path_stack)})"
+            )
+        del path_stack[depth:]
+        del counts_stack[depth + 1:]
+        counts = counts_stack[depth]
+        occurrence = counts.get(name, 0)
+        counts[name] = occurrence + 1
+        label = name if occurrence == 0 else f"{name}#{occurrence + 1}"
+        path = f"{path_stack[-1]}/{label}" if path_stack else label
+        paths.append(path)
+        path_stack.append(path)
+        counts_stack.append({})
+    return paths
+
 #: JSON-Schema (draft-07) for the run report; CI validates emitted reports
 #: against it with ``jsonschema`` and :func:`validate_run_report` performs
 #: the same structural checks without the dependency.
@@ -64,9 +97,10 @@ RUN_REPORT_SCHEMA: Dict[str, Any] = {
             "type": "array",
             "items": {
                 "type": "object",
-                "required": ["name", "depth", "start_us", "duration_us"],
+                "required": ["name", "path", "depth", "start_us", "duration_us"],
                 "properties": {
                     "name": {"type": "string"},
+                    "path": {"type": "string"},
                     "depth": {"type": "integer", "minimum": 0},
                     "start_us": {"type": "number", "minimum": 0},
                     "duration_us": {"type": "number", "minimum": 0},
@@ -278,10 +312,12 @@ def build_run_report(
     spans_out: List[Dict[str, Any]] = []
     spans = list(tracer.spans())
     origin = min((s.start for s in spans), default=0.0)
-    for span in spans:
+    paths = compute_span_paths((s.name, s.depth) for s in spans)
+    for span, path in zip(spans, paths):
         spans_out.append(
             {
                 "name": span.name,
+                "path": path,
                 "depth": span.depth,
                 "start_us": max(0.0, (span.start - origin) * 1e6),
                 "duration_us": max(0.0, span.duration * 1e6),
@@ -365,11 +401,12 @@ def validate_run_report(report: Any) -> None:
     for index, span in enumerate(spans):
         if not isinstance(span, dict):
             fail(f"spans[{index}] is not an object")
-        for key in ("name", "depth", "start_us", "duration_us"):
+        for key in ("name", "path", "depth", "start_us", "duration_us"):
             if key not in span:
                 fail(f"spans[{index}] missing {key!r}")
-        if not isinstance(span["name"], str):
-            fail(f"spans[{index}].name is not a string")
+        for key in ("name", "path"):
+            if not isinstance(span[key], str):
+                fail(f"spans[{index}].{key} is not a string")
         if not isinstance(span["depth"], int) or span["depth"] < 0:
             fail(f"spans[{index}].depth is not a non-negative integer")
         for key in ("start_us", "duration_us"):

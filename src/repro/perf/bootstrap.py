@@ -142,10 +142,15 @@ class BootstrapModel:
                 obs.record_cost(cost)
             ledger.add("ModRaise", cost)
 
+            # Volatile values (loop index, live limb count) go into span
+            # *attributes*, never labels: cross-run diff alignment keys on
+            # the label path, and repeated siblings are disambiguated by
+            # position (repro.obs.export.compute_span_paths).
             with obs.span("CoeffToSlot"):
                 for i in range(params.fft_iter):
                     with obs.span(
-                        f"CoeffToSlot[{i}]",
+                        "CoeffToSlot:iter",
+                        iter=i,
                         level=level,
                         diagonals=self.dft_diagonals,
                     ):
@@ -162,7 +167,7 @@ class BootstrapModel:
                     mults = profile.mults_per_level + (
                         profile.basis_setup_mults if depth == 0 else 0
                     )
-                    with obs.span(f"EvalMod[{depth}]", level=level):
+                    with obs.span("EvalMod:level", depth=depth, level=level):
                         with obs.span("EvalMod:Mult", level=level):
                             mult_cost = self.costs.mult(level).scaled(mults)
                             obs.record_cost(mult_cost)
@@ -184,7 +189,8 @@ class BootstrapModel:
             with obs.span("SlotToCoeff"):
                 for i in range(params.fft_iter):
                     with obs.span(
-                        f"SlotToCoeff[{i}]",
+                        "SlotToCoeff:iter",
+                        iter=i,
                         level=level,
                         diagonals=self.dft_diagonals,
                     ):

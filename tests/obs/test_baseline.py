@@ -1,0 +1,252 @@
+"""Baseline store, tolerance gating, and the bench regression harness."""
+
+import json
+
+import pytest
+
+from repro.obs import state
+from repro.obs.baseline import (
+    BaselineStore,
+    Tolerance,
+    baseline_key,
+    compare_reports,
+    normalize_report,
+)
+from repro.obs.bench import (
+    DEFAULT_SPECS,
+    BenchSpec,
+    primitive_micro_cost,
+    run_bench,
+    run_spec,
+)
+from repro.obs.export import build_run_report, validate_run_report
+from repro.params import BASELINE_JUNG
+from repro.perf import BootstrapModel, MADConfig
+
+
+def bootstrap_report(config=None):
+    config = config if config is not None else MADConfig.none()
+    with state.capture() as (tracer, registry):
+        BootstrapModel(BASELINE_JUNG, config).ledger()
+    return build_run_report(
+        tracer, registry, command="test", workload="bootstrap", params="baseline"
+    )
+
+
+class TestBaselineKey:
+    def test_contains_all_dimensions(self):
+        key = baseline_key("bootstrap", "optimal", "all", 256.0, "BTS")
+        assert key == "bootstrap__optimal__all__cache256__bts"
+
+    def test_no_cache_no_design(self):
+        assert baseline_key("micro", "baseline", "none") == (
+            "micro__baseline__none__nocache"
+        )
+
+    def test_filename_safe(self):
+        key = baseline_key("ResNet-20 (CIFAR/10)", "p", "c")
+        assert "/" not in key and " " not in key and "(" not in key
+
+
+class TestNormalization:
+    def test_zeroes_wall_clock_only(self):
+        report = bootstrap_report()
+        normalized = normalize_report(report)
+        assert normalized["wall_seconds"] == 0.0
+        assert all(
+            s["start_us"] == 0.0 and s["duration_us"] == 0.0
+            for s in normalized["spans"]
+        )
+        # Analytical content untouched.
+        assert normalized["totals"] == report["totals"]
+        assert normalized["metrics"] == report["metrics"]
+        # Input not mutated.
+        assert report["wall_seconds"] > 0.0
+
+    def test_normalized_report_still_validates(self):
+        validate_run_report(normalize_report(bootstrap_report()))
+
+
+class TestBaselineStore:
+    def test_roundtrip(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        report = bootstrap_report()
+        path = store.save("k", report)
+        assert path.is_file()
+        loaded = store.load("k")
+        assert loaded == normalize_report(report)
+        assert store.exists("k") and not store.exists("missing")
+        assert store.keys() == ["k"]
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert BaselineStore(str(tmp_path)).load("nope") is None
+
+    def test_saved_files_are_deterministic(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        a = store.save("a", bootstrap_report()).read_text()
+        b = store.save("b", bootstrap_report()).read_text()
+        assert a == b  # timing noise normalized away
+
+
+class TestTolerance:
+    def test_defaults_are_exact(self):
+        tolerance = Tolerance()
+        assert tolerance.allows(100, 100)
+        assert not tolerance.allows(100, 101)
+
+    def test_relative_slack(self):
+        tolerance = Tolerance(relative=0.05)
+        assert tolerance.allows(100, 105)
+        assert not tolerance.allows(100, 106)
+
+    def test_absolute_slack(self):
+        tolerance = Tolerance(absolute=10)
+        assert tolerance.allows(0, 10)
+        assert not tolerance.allows(0, 11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(relative=-1)
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = bootstrap_report()
+        comparison = compare_reports(normalize_report(report), report)
+        assert comparison.ok
+        assert comparison.diff is None
+        assert "ok" in comparison.describe()
+
+    def test_improvement_is_not_regression(self):
+        baseline = bootstrap_report(MADConfig.none())
+        improved = bootstrap_report(MADConfig.all())
+        comparison = compare_reports(baseline, improved)
+        assert comparison.ok
+        assert "traffic.total" in comparison.improvements
+        assert comparison.diff is not None  # attribution still available
+
+    def test_cost_growth_is_regression_with_attribution(self):
+        baseline = bootstrap_report(MADConfig.all())
+        current = bootstrap_report(MADConfig.none())  # strictly worse
+        comparison = compare_reports(baseline, current)
+        assert not comparison.ok
+        metrics = {r.metric for r in comparison.regressions}
+        assert "traffic.total" in metrics
+        text = comparison.describe()
+        assert "REGRESSION" in text
+        assert "Span path" in text  # attribution table names the spans
+
+    def test_tolerance_absorbs_growth(self):
+        baseline = bootstrap_report(MADConfig.all())
+        current = bootstrap_report(MADConfig.none())
+        comparison = compare_reports(baseline, current, Tolerance(relative=10.0))
+        assert comparison.ok
+
+
+class TestBenchSpecs:
+    def test_default_matrix_covers_paper_workloads(self):
+        names = [spec.name for spec in DEFAULT_SPECS]
+        assert any("bootstrap" in n for n in names)
+        assert any("helr" in n for n in names)
+        assert any("resnet" in n for n in names)
+        assert any("micro" in n for n in names)
+        assert len(set(names)) == len(names)
+
+    def test_micro_workload_is_traced_and_parity_clean(self):
+        untraced = primitive_micro_cost(BASELINE_JUNG, MADConfig.none())
+        with state.capture() as (tracer, _):
+            traced = primitive_micro_cost(BASELINE_JUNG, MADConfig.none())
+        assert traced == untraced
+        assert tracer.total_cost() == untraced
+        names = {span.name for span in tracer.spans()}
+        assert {"Mult", "Rotate", "KeySwitch", "ModRaise"} <= names
+
+    def test_run_spec_produces_valid_report(self):
+        report = run_spec(BenchSpec("micro", "baseline", "none"))
+        validate_run_report(report)
+        assert report["totals"]["ops"]["total"] > 0
+        assert report["command"] == "bench micro__baseline__none__nocache"
+
+    def test_run_spec_design_attribution(self):
+        report = run_spec(
+            BenchSpec("bootstrap", "optimal", "all", cache_mb=256.0, design="BTS")
+        )
+        assert report["runtime"]["design"] == "BTS"
+        assert report["runtime"]["roofline_seconds"] > 0
+
+
+class TestRunBench:
+    SPECS = (
+        BenchSpec("micro", "baseline", "none"),
+        BenchSpec("bootstrap", "baseline", "none"),
+    )
+
+    def test_update_then_check_passes(self, tmp_path, capsys):
+        store = BaselineStore(str(tmp_path / "baselines"))
+        assert run_bench(self.SPECS, store, update=True) == 0
+        assert len(store.keys()) == len(self.SPECS)
+        assert run_bench(self.SPECS, store) == 0
+        assert "bench ok" in capsys.readouterr().out
+
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        store = BaselineStore(str(tmp_path / "empty"))
+        assert run_bench(self.SPECS, store) == 1
+        out = capsys.readouterr().out
+        assert "MISSING baseline" in out and "--update" in out
+
+    def test_perturbed_baseline_fails_and_names_span(self, tmp_path, capsys):
+        """The acceptance check: a deliberately lowered baseline cost makes
+        bench exit non-zero with the regressing span in the table."""
+        store = BaselineStore(str(tmp_path / "baselines"))
+        run_bench(self.SPECS, store, update=True)
+        key = self.SPECS[1].name
+        path = store.path_for(key)
+        doc = json.loads(path.read_text())
+        # Pretend EvalMod used to be 1 GB cheaper on ops and traffic.
+        doc["totals"]["traffic"]["ct_read"] -= 10**9
+        doc["totals"]["traffic"]["total"] -= 10**9
+        target = next(
+            s for s in doc["spans"]
+            if s["name"] == "EvalMod:Mult" and s.get("traffic")
+        )
+        target["traffic"]["ct_read"] -= 10**9
+        target["traffic"]["total"] -= 10**9
+        path.write_text(json.dumps(doc))
+
+        out_dir = tmp_path / "out"
+        assert run_bench(self.SPECS, store, out_dir=str(out_dir)) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "traffic.ct_read" in out
+        assert "EvalMod:Mult" in out  # the regressing span is named
+        # cost_diff artifact written for the regressed workload.
+        diff_doc = json.loads((out_dir / f"cost_diff_{key}.json").read_text())
+        assert diff_doc["identical"] is False
+
+    def test_trajectories_append(self, tmp_path):
+        store = BaselineStore(str(tmp_path / "baselines"))
+        out_dir = tmp_path / "out"
+        specs = (self.SPECS[0],)
+        run_bench(specs, store, update=True, out_dir=str(out_dir))
+        run_bench(specs, store, out_dir=str(out_dir))
+        path = out_dir / f"BENCH_{specs[0].name}.json"
+        trajectory = json.loads(path.read_text())
+        assert trajectory["schema"] == "repro.obs.bench_trajectory/v1"
+        assert len(trajectory["entries"]) == 2
+        first, second = trajectory["entries"]
+        assert first["ok"] is None  # update run: nothing gated
+        assert second["ok"] is True
+        assert second["ops_total"] == first["ops_total"]
+        assert second["wall_seconds"] > 0
+
+    def test_tolerance_flag_absorbs_regression(self, tmp_path):
+        store = BaselineStore(str(tmp_path / "baselines"))
+        run_bench(self.SPECS, store, update=True)
+        key = self.SPECS[0].name
+        path = store.path_for(key)
+        doc = json.loads(path.read_text())
+        doc["totals"]["ops"]["mults"] -= 5
+        doc["totals"]["ops"]["total"] -= 5
+        path.write_text(json.dumps(doc))
+        assert run_bench(self.SPECS, store) == 1
+        assert run_bench(self.SPECS, store, tolerance=Tolerance(absolute=10)) == 0

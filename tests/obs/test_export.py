@@ -11,6 +11,7 @@ from repro.obs.export import (
     SCHEMA_ID,
     attribute_runtime,
     build_run_report,
+    compute_span_paths,
     cost_dict,
     render_flat_profile,
     to_chrome_trace,
@@ -202,3 +203,61 @@ class TestRunReport:
         assert payload["ops"]["total"] == 7
         assert payload["traffic"]["total"] == 10
         assert payload["arithmetic_intensity"] == cost.arithmetic_intensity
+
+
+class TestSpanPaths:
+    def test_repeated_siblings_are_disambiguated(self):
+        paths = compute_span_paths(
+            [("Root", 0), ("Iter", 1), ("Iter", 1), ("Iter", 1)]
+        )
+        assert paths == ["Root", "Root/Iter", "Root/Iter#2", "Root/Iter#3"]
+
+    def test_occurrence_counts_reset_per_parent(self):
+        paths = compute_span_paths(
+            [("A", 0), ("Leaf", 1), ("B", 0), ("Leaf", 1)]
+        )
+        assert paths == ["A", "A/Leaf", "B", "B/Leaf"]
+
+    def test_nested_repeats(self):
+        paths = compute_span_paths(
+            [("Root", 0), ("Phase", 1), ("Step", 2), ("Phase", 1), ("Step", 2)]
+        )
+        assert paths[3] == "Root/Phase#2"
+        assert paths[4] == "Root/Phase#2/Step"
+
+    def test_forest_roots_are_disambiguated(self):
+        paths = compute_span_paths([("Run", 0), ("Run", 0)])
+        assert paths == ["Run", "Run#2"]
+
+    def test_depth_jump_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            compute_span_paths([("Root", 0), ("Orphan", 2)])
+
+    def test_paths_are_unique_and_stable_in_real_trace(self, traced_bootstrap):
+        tracer, registry, _ = traced_bootstrap
+        report = build_run_report(tracer, registry, command="x")
+        paths = [span["path"] for span in report["spans"]]
+        assert len(paths) == len(set(paths))
+        # A second identical run must produce the identical path sequence.
+        from repro.obs import state
+        from repro.params import BASELINE_JUNG
+        from repro.perf import BootstrapModel, MADConfig
+
+        with state.capture() as (tracer2, registry2):
+            BootstrapModel(BASELINE_JUNG, MADConfig.none()).ledger()
+        report2 = build_run_report(tracer2, registry2, command="x")
+        assert [s["path"] for s in report2["spans"]] == paths
+
+    def test_no_volatile_values_in_bootstrap_span_names(self, traced_bootstrap):
+        """Labels must be constant across runs: indices/limb counts belong
+        in span attributes (meta), never in the name."""
+        tracer, _, _ = traced_bootstrap
+        for span in tracer.spans():
+            assert not any(ch.isdigit() for ch in span.name), span.name
+
+    def test_report_spans_missing_path_rejected(self, traced_bootstrap):
+        tracer, registry, _ = traced_bootstrap
+        report = build_run_report(tracer, registry, command="x")
+        del report["spans"][0]["path"]
+        with pytest.raises(ValueError, match="path"):
+            validate_run_report(report)

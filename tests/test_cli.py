@@ -201,3 +201,123 @@ class TestTraceCommand:
     def test_trace_requires_out(self):
         with pytest.raises(SystemExit):
             main(["trace", "bootstrap"])
+
+
+class TestTraceMetricsFlag:
+    def test_prints_counters_and_embeds_snapshot(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "bootstrap", "--out", str(out), "--metrics"]) == 0
+        stdout = capsys.readouterr().out
+        assert "Counters" in stdout
+        assert "perf.primitives.key_switch" in stdout
+        doc = json.loads(out.read_text())
+        metrics = doc["otherData"]["metrics"]
+        assert metrics["counters"]
+        assert "perf.primitives.mult" in metrics["counters"]
+
+    def test_without_flag_no_counters_section(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "bootstrap", "--out", str(out)]) == 0
+        assert "Counters" not in capsys.readouterr().out
+        assert "metrics" not in json.loads(out.read_text())["otherData"]
+
+
+class TestDiffCommand:
+    def _write_report(self, tmp_path, name, config):
+        import json
+
+        report_path = tmp_path / f"{name}.json"
+        assert main([
+            "trace", "bootstrap", "--out", str(tmp_path / f"{name}_t.json"),
+            "--report", str(report_path), "--config", config,
+        ]) == 0
+        return report_path
+
+    def test_identical_reports_render_identical(self, capsys, tmp_path):
+        a = self._write_report(tmp_path, "a", "none")
+        b = self._write_report(tmp_path, "b", "none")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_writes_validated_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.diff import validate_cost_diff
+
+        a = self._write_report(tmp_path, "a", "none")
+        b = self._write_report(tmp_path, "b", "all")
+        capsys.readouterr()
+        cost_diff = tmp_path / "cost_diff.json"
+        overlay = tmp_path / "overlay.json"
+        assert main([
+            "diff", str(a), str(b),
+            "--json", str(cost_diff), "--overlay", str(overlay),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "Span path" in stdout and "key_read" in stdout
+        doc = json.loads(cost_diff.read_text())
+        validate_cost_diff(doc)
+        assert doc["identical"] is False
+        assert {e["pid"] for e in json.loads(overlay.read_text())["traceEvents"]} == {1, 2}
+
+    def test_mismatched_workloads_need_force(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.diff import WorkloadMismatchError
+
+        a = self._write_report(tmp_path, "a", "none")
+        helr = tmp_path / "helr.json"
+        assert main([
+            "trace", "helr", "--out", str(tmp_path / "helr_t.json"),
+            "--report", str(helr),
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(WorkloadMismatchError):
+            main(["diff", str(a), str(helr)])
+        assert main(["diff", str(a), str(helr), "--force"]) == 0
+
+
+class TestBenchCommand:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap__optimal__all__nocache" in out
+        assert "resnet__optimal__all__cache256__bts" in out
+
+    def test_update_then_check_cycle(self, capsys, tmp_path):
+        import json
+
+        baselines = tmp_path / "baselines"
+        out_dir = tmp_path / "out"
+        args = ["bench", "--workloads", "micro",
+                "--baseline-dir", str(baselines), "--out-dir", str(out_dir)]
+        assert main(args + ["--update"]) == 0
+        assert main(args + ["--check"]) == 0
+        stdout = capsys.readouterr().out
+        assert "baseline updated" in stdout and "bench ok" in stdout
+        trajectories = list(out_dir.glob("BENCH_*.json"))
+        assert trajectories
+        doc = json.loads(trajectories[0].read_text())
+        assert doc["schema"] == "repro.obs.bench_trajectory/v1"
+
+    def test_check_against_committed_baselines(self, capsys):
+        # The acceptance criterion: the committed benchmarks/baselines/
+        # fixtures must gate the current model exactly.
+        assert main(["bench", "--check"]) == 0
+        assert "bench ok" in capsys.readouterr().out
+
+    def test_check_fails_without_baselines(self, capsys, tmp_path):
+        assert main([
+            "bench", "--check", "--workloads", "micro__baseline",
+            "--baseline-dir", str(tmp_path / "nothing"),
+        ]) == 1
+        assert "MISSING baseline" in capsys.readouterr().out
+
+    def test_unknown_workload_filter_exits(self):
+        with pytest.raises(SystemExit, match="no bench workloads match"):
+            main(["bench", "--workloads", "nonexistent"])
