@@ -1,15 +1,33 @@
 PYTHON ?= python
+# Match the tier-1 command: the package is imported from src/ without an
+# install step, preserving any PYTHONPATH the caller already exported.
+PYPATH = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench examples tables clean
+.PHONY: install test bench lint typecheck examples tables clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYPATH) $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+lint:
+	$(PYPATH) $(PYTHON) -m repro lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 examples:
 	$(PYTHON) examples/quickstart.py

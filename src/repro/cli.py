@@ -10,13 +10,15 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro trace bootstrap --out trace.json --report run_report.json
     python -m repro diff base_report.json run_report.json --json cost_diff.json
     python -m repro bench --check
+    python -m repro lint --json src/repro
 
 Table commands accept ``--json`` for machine-readable output; ``trace``
 records a hierarchical span tree and writes it as Chrome trace-event JSON
 (viewable in Perfetto or ``chrome://tracing``); ``diff`` attributes the
 cost delta between two run reports span by span; ``bench`` gates the
 analytical workloads against the committed baselines in
-``benchmarks/baselines/``.
+``benchmarks/baselines/``; ``lint`` mechanically enforces the cost-model
+and observability invariants (see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -371,6 +373,12 @@ def _cmd_bench(args) -> int:
     return code if args.check or args.update else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import lint_command
+
+    return lint_command(args)
+
+
 def _cmd_search(args) -> int:
     from repro.hardware import HardwareDesign
     from repro.search import enumerate_parameter_space, find_optimal_parameters
@@ -548,6 +556,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list bench workloads and exit"
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (cost-model + span invariants)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named rule (repeatable)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its description and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("balance", help="roofline balance of MAD design points")
     p.set_defaults(func=_cmd_balance)

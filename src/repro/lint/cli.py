@@ -1,0 +1,46 @@
+"""CLI behind ``python -m repro lint``.
+
+Kept separate from :mod:`repro.cli` so the argparse wiring there stays
+one-line-per-command; exit codes follow linter convention: 0 clean,
+1 findings, 2 usage errors (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.core import LintResult, run_lint
+from repro.lint.registry import all_rules, get_rules, rule_descriptions
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["DEFAULT_PATHS", "lint_command"]
+
+#: What ``python -m repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _render_rule_list() -> str:
+    descriptions = rule_descriptions()
+    width = max(len(name) for name in descriptions)
+    return "\n".join(
+        f"{name:{width}}  {description}"
+        for name, description in descriptions.items()
+    )
+
+
+def lint_command(args: argparse.Namespace) -> int:
+    """Implementation of the ``lint`` subcommand (see repro.cli)."""
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+    try:
+        rules = get_rules(args.rule) if args.rule else all_rules()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    paths = args.paths or list(DEFAULT_PATHS)
+    try:
+        result: LintResult = run_lint(paths, rules)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.clean else 1

@@ -1,0 +1,114 @@
+"""Reporters: human-readable text and a versioned JSON schema.
+
+The JSON payload (``schema: repro.lint/v1``) is what the CI lint job
+uploads as an artifact; :func:`validate_report` is a dependency-free
+structural validator mirroring the style of
+:func:`repro.obs.diff.validate_cost_diff`, so downstream tooling can
+round-trip reports without jsonschema installed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.core import Finding, LintResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_findings",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "validate_report",
+]
+
+SCHEMA_VERSION = "repro.lint/v1"
+
+_FINDING_FIELDS = {
+    "rule": str,
+    "path": str,
+    "line": int,
+    "col": int,
+    "message": str,
+}
+
+
+def report_dict(result: LintResult) -> Dict[str, object]:
+    """Machine-readable report for one lint run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "rules": list(result.rules),
+        "files": len(result.files),
+        "suppressed": result.suppressed,
+        "counts": result.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_dict(result), indent=1, sort_keys=True)
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: Rule: message`` line per finding + summary."""
+    lines = [finding.render() for finding in result.findings]
+    suffix = f" ({result.suppressed} suppressed)" if result.suppressed else ""
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{len(result.files)} file(s){suffix}"
+        )
+    else:
+        lines.append(f"clean: {len(result.files)} file(s) linted{suffix}")
+    return "\n".join(lines)
+
+
+def validate_report(payload: object) -> None:
+    """Raise ValueError unless ``payload`` is a well-formed v1 report."""
+    if not isinstance(payload, dict):
+        raise ValueError("lint report must be a JSON object")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint report schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION!r}"
+        )
+    for key, kind in (("rules", list), ("findings", list), ("counts", dict)):
+        if not isinstance(payload.get(key), kind):
+            raise ValueError(f"lint report field {key!r} must be a {kind.__name__}")
+    for key in ("files", "suppressed"):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(
+                f"lint report field {key!r} must be a non-negative integer"
+            )
+    findings = payload["findings"]
+    assert isinstance(findings, list)
+    for position, finding in enumerate(findings):
+        if not isinstance(finding, dict):
+            raise ValueError(f"finding #{position} must be an object")
+        for fld, kind in _FINDING_FIELDS.items():
+            value = finding.get(fld)
+            if not isinstance(value, kind) or isinstance(value, bool):
+                raise ValueError(
+                    f"finding #{position} field {fld!r} must be a {kind.__name__}"
+                )
+
+
+def load_findings(payload: Dict[str, object]) -> List[Finding]:
+    """Rebuild :class:`Finding` objects from a validated report payload."""
+    validate_report(payload)
+    raw = payload["findings"]
+    assert isinstance(raw, list)
+    out: List[Finding] = []
+    for item in raw:
+        assert isinstance(item, dict)
+        rule, path, message = item["rule"], item["path"], item["message"]
+        line, col = item["line"], item["col"]
+        assert isinstance(rule, str)
+        assert isinstance(path, str)
+        assert isinstance(message, str)
+        assert isinstance(line, int)
+        assert isinstance(col, int)
+        out.append(Finding(rule=rule, path=path, line=line, col=col, message=message))
+    return out

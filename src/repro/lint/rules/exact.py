@@ -1,0 +1,137 @@
+"""ExactArithPurity: the modular-arithmetic paths stay float-free.
+
+``numth/`` and ``ring/`` implement exact RNS arithmetic — NTTs over
+prime fields, CRT reconstruction, basis conversion.  The trace-parity
+tests assert traced and untraced runs are *bit-identical*; one float
+sneaking into these paths (a ``/`` instead of ``//`` or
+``mod_inverse``, a ``math.log2``, a numpy float dtype) turns exact
+integer results into approximations and breaks that guarantee silently
+on large operands (floats lose integer precision past 2**53).
+
+Flagged inside ``numth/`` and ``ring/`` only:
+
+* true division ``/`` (including ``/=``);
+* ``float``/``complex`` literals and the ``float()``/``complex()``
+  builtins;
+* ``math.*`` attributes outside the exact integer subset
+  (``gcd``, ``isqrt``, ``lcm``, ``comb``, ``perm``, ``factorial``,
+  ``prod``);
+* any ``numpy`` import (its integer dtypes overflow silently and its
+  default dtypes are floats).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.registry import register
+
+__all__ = ["ExactArithPurity"]
+
+#: math functions that are exact on integers.
+EXACT_MATH = frozenset(
+    {"gcd", "isqrt", "lcm", "comb", "perm", "factorial", "prod"}
+)
+_FLOAT_BUILTINS = frozenset({"float", "complex"})
+_EXACT_DIRS = ("numth", "ring")
+
+
+@register
+class ExactArithPurity(Rule):
+    name = "ExactArithPurity"
+    description = (
+        "numth/ and ring/ are exact integer paths: no `/`, float/complex "
+        "literals, float() builtins, non-exact math.* or numpy imports"
+    )
+    node_types = (
+        ast.BinOp,
+        ast.AugAssign,
+        ast.Constant,
+        ast.Call,
+        ast.Attribute,
+        ast.Import,
+        ast.ImportFrom,
+    )
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if not ctx.in_dir(*_EXACT_DIRS):
+            return None
+        if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+            node.op, ast.Div
+        ):
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    "true division `/` in an exact modular-arithmetic path — "
+                    "use `//` or repro.numth.modular.mod_inverse",
+                )
+            ]
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (float, complex)
+        ):
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    f"{type(node.value).__name__} literal {node.value!r} in an "
+                    "exact modular-arithmetic path — floats lose integer "
+                    "precision past 2**53",
+                )
+            ]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _FLOAT_BUILTINS
+        ):
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    f"`{node.func.id}()` conversion in an exact "
+                    "modular-arithmetic path",
+                )
+            ]
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "math"
+            and node.attr not in EXACT_MATH
+        ):
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    f"`math.{node.attr}` is not exact on integers; only "
+                    f"{', '.join(sorted(EXACT_MATH))} are allowed here",
+                )
+            ]
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "numpy":
+                    return [
+                        self.finding(
+                            ctx,
+                            node,
+                            "numpy import in an exact modular-arithmetic path "
+                            "— its dtypes are floats or silently-overflowing "
+                            "fixed-width ints",
+                        )
+                    ]
+        if isinstance(node, ast.ImportFrom) and (node.module or "").split(".")[
+            0
+        ] == "numpy":
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    "numpy import in an exact modular-arithmetic path — its "
+                    "dtypes are floats or silently-overflowing fixed-width "
+                    "ints",
+                )
+            ]
+        return None

@@ -1,0 +1,90 @@
+"""SpanLabelStability: span labels are static cross-run alignment keys.
+
+``repro.obs.diff`` aligns two run reports span by span on the
+hierarchical *label path* (repeated siblings get ``#k`` occurrence
+suffixes).  A label interpolating a loop variable —
+``span(f"CoeffToSlot {i}")`` — makes every iteration a distinct path, so
+the PR-2 diff/bench harness sees a wall of added/removed spans instead
+of a cost delta.  Volatile values belong in span *attrs*:
+``span("CoeffToSlot:iter", iter=i)``.
+
+The rule flags dynamically-built labels (f-strings, ``%``-formatting,
+``str.format``, constant+variable concatenation, starred arguments) as
+the first positional argument of any ``*.span(...)`` / ``span(...)``
+call.  Plain names are allowed: binding a label from a static table is
+a legitimate pattern (``for name, cost in ops: span(name)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.registry import register
+
+__all__ = ["SpanLabelStability"]
+
+
+def _is_str_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _label_problem(label: ast.AST) -> Optional[str]:
+    if isinstance(label, ast.JoinedStr) and any(
+        isinstance(value, ast.FormattedValue) for value in label.values
+    ):
+        return "f-string interpolation"
+    if isinstance(label, ast.BinOp):
+        if isinstance(label.op, ast.Mod) and (
+            _is_str_constant(label.left) or isinstance(label.left, ast.JoinedStr)
+        ):
+            return "%-formatting"
+        if isinstance(label.op, ast.Add) and (
+            _is_str_constant(label.left) or _is_str_constant(label.right)
+        ):
+            return "string concatenation"
+    if (
+        isinstance(label, ast.Call)
+        and isinstance(label.func, ast.Attribute)
+        and label.func.attr == "format"
+    ):
+        return ".format() call"
+    if isinstance(label, ast.Starred):
+        return "starred argument"
+    return None
+
+
+@register
+class SpanLabelStability(Rule):
+    name = "SpanLabelStability"
+    description = (
+        "span labels must be static (no f-strings/%/.format/concatenation); "
+        "volatile values go in span attrs — cross-run diff alignment keys "
+        "on the label path"
+    )
+    node_types = (ast.Call,)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        is_span = (isinstance(func, ast.Attribute) and func.attr == "span") or (
+            isinstance(func, ast.Name) and func.id == "span"
+        )
+        if not is_span or not node.args:
+            return None
+        label = node.args[0]
+        problem = _label_problem(label)
+        if problem is None:
+            return None
+        return [
+            self.finding(
+                ctx,
+                label,
+                f"{problem} in span label — labels are cross-run alignment "
+                "keys; keep them static and move volatile values into span "
+                "attrs (e.g. span(\"Phase:iter\", iter=i))",
+            )
+        ]

@@ -1,0 +1,188 @@
+"""UnitsHygiene: byte-valued and op-valued expressions never mix.
+
+The model's two currencies — modular operations and DRAM bytes — share
+the int type, so nothing at runtime stops ``total_bytes = cost.ops.total``
+or ``ops + traffic_bytes``.  Such a slip re-denominates an axis of the
+roofline (Fig. 3 plots ops/byte) without any test necessarily failing.
+
+Unit inference is deliberately conservative and purely lexical:
+
+* ``*bytes`` identifiers and the ``MemTraffic`` stream fields
+  (``ct_read``/``ct_write``/``key_read``/``pt_read``/``traffic``) are
+  byte-valued;
+* ``*_ops`` identifiers and the ``OpCount`` fields
+  (``mults``/``adds``/``ops``) are op-valued;
+* ``+``/``-`` preserve units and require both sides to agree; ``*`` and
+  ``/`` derive new units (scaling and arithmetic intensity are legal),
+  so their results are unknown and never flagged.
+
+Findings: adding/subtracting bytes with ops, assigning a definite
+byte-valued expression to an ``*_ops`` name (or vice versa), and
+``*_bytes``/``*_ops``-named functions returning the other unit — the
+naming contract ``MemTraffic``/``OpCount`` accessors follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.registry import register
+
+__all__ = ["UnitsHygiene"]
+
+BYTES = "bytes"
+OPS = "ops"
+_MIXED = "mixed"
+
+_BYTE_FIELDS = frozenset({"ct_read", "ct_write", "key_read", "pt_read", "traffic"})
+_OP_FIELDS = frozenset({"mults", "adds", "ops"})
+
+
+def _ident_unit(name: str) -> Optional[str]:
+    name = name.lstrip("_")
+    if name.endswith("bytes") or name in _BYTE_FIELDS:
+        return BYTES
+    if name.endswith("_ops") or name in _OP_FIELDS:
+        return OPS
+    return None
+
+
+def _unit(expr: ast.AST) -> Optional[str]:
+    """BYTES/OPS when the expression's unit is definite, else None/_MIXED."""
+    if isinstance(expr, ast.Name):
+        return _ident_unit(expr.id)
+    if isinstance(expr, ast.Attribute):
+        unit = _ident_unit(expr.attr)
+        # `cost.traffic.total` — `total` carries no unit, the receiver does.
+        return unit if unit is not None else _unit(expr.value)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            return _ident_unit(func.id)
+        if isinstance(func, ast.Attribute):
+            return _ident_unit(func.attr)
+        return None
+    if isinstance(expr, ast.BinOp):
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            left, right = _unit(expr.left), _unit(expr.right)
+            if _MIXED in (left, right):
+                return _MIXED
+            if left and right and left != right:
+                return _MIXED
+            return left or right
+        return None  # *, /, //, %, ... derive new units
+    if isinstance(expr, ast.UnaryOp):
+        return _unit(expr.operand)
+    if isinstance(expr, ast.IfExp):
+        body, orelse = _unit(expr.body), _unit(expr.orelse)
+        return body if body == orelse else None
+    return None
+
+
+def _definite(unit: Optional[str]) -> bool:
+    return unit in (BYTES, OPS)
+
+
+@register
+class UnitsHygiene(Rule):
+    name = "UnitsHygiene"
+    description = (
+        "byte-valued and op-valued expressions never cross-assigned or "
+        "added; *_bytes/*_ops accessor names must match what they return"
+    )
+    node_types = (
+        ast.Assign,
+        ast.AnnAssign,
+        ast.AugAssign,
+        ast.BinOp,
+        ast.FunctionDef,
+    )
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if isinstance(node, ast.BinOp):
+            return self._check_binop(node, ctx)
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return self._check_assign(node, ctx)
+        if isinstance(node, ast.FunctionDef):
+            return self._check_function(node, ctx)
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_binop(
+        self, node: ast.BinOp, ctx: FileContext
+    ) -> Optional[List[Finding]]:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return None
+        left, right = _unit(node.left), _unit(node.right)
+        if {left, right} == {BYTES, OPS}:
+            verb = "adds" if isinstance(node.op, ast.Add) else "subtracts"
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    f"{verb} a byte-valued and an op-valued expression — the "
+                    "model's two currencies never mix additively",
+                )
+            ]
+        return None
+
+    def _check_assign(
+        self,
+        node: "ast.Assign | ast.AnnAssign | ast.AugAssign",
+        ctx: FileContext,
+    ) -> Optional[List[Finding]]:
+        if node.value is None:  # annotation without value
+            return None
+        value_unit = _unit(node.value)
+        if not _definite(value_unit):
+            return None
+        if isinstance(node, ast.Assign):
+            targets: List[ast.AST] = list(node.targets)
+        else:
+            targets = [node.target]
+        findings: List[Finding] = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                target_unit = _ident_unit(target.id)
+                label = target.id
+            elif isinstance(target, ast.Attribute):
+                target_unit = _ident_unit(target.attr)
+                label = target.attr
+            else:
+                continue
+            if _definite(target_unit) and target_unit != value_unit:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"assigns a {value_unit}-valued expression to "
+                        f"`{label}` — rename the target or fix the "
+                        "expression; units must agree",
+                    )
+                )
+        return findings
+
+    def _check_function(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Optional[List[Finding]]:
+        name_unit = _ident_unit(node.name)
+        if not _definite(name_unit):
+            return None
+        findings: List[Finding] = []
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                value_unit = _unit(stmt.value)
+                if _definite(value_unit) and value_unit != name_unit:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            stmt,
+                            f"`{node.name}` is named as a {name_unit} accessor "
+                            f"but returns a {value_unit}-valued expression",
+                        )
+                    )
+        return findings

@@ -1,0 +1,91 @@
+"""Suppression comments: opt a line or file out of named rules.
+
+Three forms, all spelled in regular ``#`` comments:
+
+* trailing, applies to its own line::
+
+      dram_bytes += slack  # lint: disable=LedgerDiscipline
+
+* standalone, applies to the next line (for statements whose line is
+  already full)::
+
+      # lint: disable=SpanLabelStability
+      with obs.span(label):
+          ...
+
+* file-level, applies to every line of the file wherever it appears::
+
+      # lint: disable-file=ExactArithPurity
+
+Rule lists are comma-separated; the special name ``all`` suppresses
+every rule.  Suppressions are matched against the *first* line of a
+multi-line statement (the ``lineno`` the finding reports).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<rules>[\w.\-]+(?:\s*,\s*[\w.\-]+)*)"
+)
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """(row, col, text) for every comment; tolerant of tokenize errors."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to a crude per-line scan; good enough for directives.
+        out = []
+        for row, line in enumerate(source.splitlines(), start=1):
+            pos = line.find("#")
+            if pos >= 0:
+                out.append((row, pos, line[pos:]))
+        return out
+    return [
+        (tok.start[0], tok.start[1], tok.string)
+        for tok in tokens
+        if tok.type == tokenize.COMMENT
+    ]
+
+
+class SuppressionIndex:
+    """Which (rule, line) pairs a file has opted out of."""
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        lines = source.splitlines()
+        for row, col, text in _comment_tokens(source):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            rules = {
+                name.strip() for name in match.group("rules").split(",") if name.strip()
+            }
+            if match.group("kind") == "disable-file":
+                index._file_wide |= rules
+                continue
+            line = lines[row - 1] if 0 < row <= len(lines) else ""
+            standalone = not line[:col].strip()
+            target = row + 1 if standalone else row
+            index._by_line.setdefault(target, set()).update(rules)
+        return index
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self._file_wide or rule in self._file_wide:
+            return True
+        at_line = self._by_line.get(line)
+        if at_line is None:
+            return False
+        return "all" in at_line or rule in at_line

@@ -1,0 +1,26 @@
+"""Shared helpers for the repro.lint test suite."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write dedented fixture files into tmp_path and lint them.
+
+    Usage::
+
+        result = lint_tree({"perf/primitives.py": "..."}, rules=["LedgerDiscipline"])
+    """
+    from repro.lint import get_rules, run_lint
+
+    def _lint(files, rules=None):
+        for relpath, code in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(code))
+        selected = get_rules(rules) if rules is not None else None
+        return run_lint([tmp_path], selected)
+
+    return _lint

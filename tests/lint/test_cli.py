@@ -1,0 +1,78 @@
+"""``python -m repro lint`` CLI: exit codes, JSON output, rule selection."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lint import rule_names, validate_report
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+def _seed_violation(tmp_path):
+    target = tmp_path / "perf" / "primitives.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            def cost(limbs):
+                dram_bytes = 0
+                dram_bytes += 8 * limbs
+                return dram_bytes
+            """
+        )
+    )
+    return target
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_names_rule_file_line(
+        self, tmp_path, capsys
+    ):
+        _seed_violation(tmp_path)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "LedgerDiscipline" in out
+        assert "perf/primitives.py:4:5" in out
+
+    def test_json_report_validates(self, tmp_path, capsys):
+        _seed_violation(tmp_path)
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["counts"] == {"LedgerDiscipline": 1}
+
+    def test_rule_selection(self, tmp_path, capsys):
+        _seed_violation(tmp_path)
+        # Only the units rule runs, so the ledger violation is invisible.
+        assert main(["lint", "--rule", "UnitsHygiene", str(tmp_path)]) == 0
+        payload_rules = capsys.readouterr().out
+        assert "clean" in payload_rules
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", "--rule", "NoSuchRule", str(tmp_path)])
+
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["lint", "/nonexistent/definitely-not-here"])
+
+    def test_list_rules_prints_registry(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in rule_names():
+            assert name in out
+
+    def test_syntax_error_reported_as_finding(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "SyntaxError" in capsys.readouterr().out

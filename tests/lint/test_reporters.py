@@ -1,0 +1,105 @@
+"""Reporter output: text rendering and JSON schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    SCHEMA_VERSION,
+    Finding,
+    LintResult,
+    render_json,
+    render_text,
+    report_dict,
+    validate_report,
+)
+from repro.lint.reporters import load_findings
+
+
+def _result():
+    return LintResult(
+        findings=[
+            Finding(
+                rule="LedgerDiscipline",
+                path="src/repro/perf/primitives.py",
+                line=12,
+                col=5,
+                message="raw accumulation",
+            ),
+            Finding(
+                rule="UnitsHygiene",
+                path="src/repro/perf/matvec.py",
+                line=3,
+                col=1,
+                message="units must agree",
+            ),
+        ],
+        files=["src/repro/perf/primitives.py", "src/repro/perf/matvec.py"],
+        rules=["LedgerDiscipline", "UnitsHygiene"],
+        suppressed=1,
+    )
+
+
+class TestTextReporter:
+    def test_findings_rendered_as_path_line_col(self):
+        text = render_text(_result())
+        assert (
+            "src/repro/perf/primitives.py:12:5: LedgerDiscipline: "
+            "raw accumulation" in text
+        )
+        assert text.endswith("2 finding(s) in 2 file(s) (1 suppressed)")
+
+    def test_clean_summary(self):
+        text = render_text(LintResult(files=["a.py"], rules=["UnitsHygiene"]))
+        assert text == "clean: 1 file(s) linted"
+
+
+class TestJsonReporter:
+    def test_schema_fields(self):
+        payload = report_dict(_result())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["files"] == 2
+        assert payload["suppressed"] == 1
+        assert payload["counts"] == {"LedgerDiscipline": 1, "UnitsHygiene": 1}
+        assert len(payload["findings"]) == 2
+
+    def test_round_trip(self):
+        result = _result()
+        payload = json.loads(render_json(result))
+        validate_report(payload)
+        assert load_findings(payload) == result.findings
+
+    def test_validate_accepts_empty_report(self):
+        payload = report_dict(LintResult(rules=["UnitsHygiene"]))
+        validate_report(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("schema"),
+            lambda d: d.update(schema="repro.lint/v999"),
+            lambda d: d.update(findings="not-a-list"),
+            lambda d: d.update(files=-1),
+            lambda d: d.update(files=True),
+            lambda d: d.pop("counts"),
+            lambda d: d["findings"].append({"rule": "X"}),
+            lambda d: d["findings"].append(
+                {
+                    "rule": "X",
+                    "path": "a.py",
+                    "line": "12",
+                    "col": 1,
+                    "message": "m",
+                }
+            ),
+        ],
+    )
+    def test_validate_rejects_malformed_payloads(self, mutate):
+        payload = report_dict(_result())
+        mutate(payload)
+        with pytest.raises(ValueError):
+            validate_report(payload)
+
+    def test_validate_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_report(["not", "an", "object"])

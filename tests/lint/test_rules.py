@@ -1,0 +1,404 @@
+"""Positive/negative fixture snippets for every domain rule."""
+
+import pytest
+
+
+def rules_of(result):
+    return [(f.rule, f.line) for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# LedgerDiscipline
+# ----------------------------------------------------------------------
+class TestLedgerDiscipline:
+    def test_raw_byte_accumulation_in_perf_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/primitives.py": """
+                def cost(limbs):
+                    dram_bytes = 0
+                    dram_bytes += 8 * limbs
+                    return dram_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert rules_of(result) == [("LedgerDiscipline", 4)]
+        assert "dram_bytes" in result.findings[0].message
+
+    def test_cost_field_mutation_flagged_outside_perf_too(self, lint_tree):
+        result = lint_tree(
+            {
+                "ckks/evaluator.py": """
+                def relinearize(report, extra):
+                    report.ops = extra
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert rules_of(result) == [("LedgerDiscipline", 3)]
+
+    def test_augmented_attribute_mutation_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "apps/workload.py": """
+                def fold(report, cost):
+                    report.traffic += cost.traffic
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert rules_of(result) == [("LedgerDiscipline", 3)]
+
+    @pytest.mark.parametrize(
+        "core_file", ["perf/events.py", "perf/ledger.py", "perf/cache.py"]
+    )
+    def test_ledger_core_files_are_exempt(self, lint_tree, core_file):
+        result = lint_tree(
+            {
+                core_file: """
+                def accumulate(self, other):
+                    self.ops = self.ops + other.ops
+                    total_bytes = 0
+                    total_bytes += other.traffic.total
+                    return total_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+
+    def test_fresh_costreport_style_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/primitives.py": """
+                def add(self, limbs):
+                    ops = self.op_count(adds=2 * limbs)
+                    traffic = self._traffic(ct_read=4 * limbs)
+                    return self.report(ops, traffic)
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+
+    def test_plain_counter_accumulation_outside_perf_is_clean(self, lint_tree):
+        # Raw-name accumulation only matters inside perf/ model code.
+        result = lint_tree(
+            {
+                "report/tables.py": """
+                def total(rows):
+                    total_ops = 0
+                    for row in rows:
+                        total_ops += row.ops
+                    return total_ops
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# SpanLabelStability
+# ----------------------------------------------------------------------
+class TestSpanLabelStability:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            'f"CoeffToSlot {i}"',
+            '"CoeffToSlot %d" % i',
+            '"CoeffToSlot {}".format(i)',
+            '"CoeffToSlot " + str(i)',
+        ],
+    )
+    def test_dynamic_labels_flagged(self, lint_tree, label):
+        result = lint_tree(
+            {
+                "perf/bootstrap.py": f"""
+                def run(obs, i):
+                    with obs.span({label}):
+                        pass
+                """
+            },
+            rules=["SpanLabelStability"],
+        )
+        assert [f.rule for f in result.findings] == ["SpanLabelStability"]
+        assert result.findings[0].line == 3
+
+    def test_static_label_with_attrs_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/bootstrap.py": """
+                def run(obs, i, level):
+                    with obs.span("CoeffToSlot:iter", iter=i, level=level):
+                        pass
+                """
+            },
+            rules=["SpanLabelStability"],
+        )
+        assert result.clean
+
+    def test_plain_name_label_is_clean(self, lint_tree):
+        # Labels bound from a static table are a legitimate pattern.
+        result = lint_tree(
+            {
+                "apps/workload.py": """
+                def run(obs, op_units):
+                    for op_name, cost in op_units:
+                        with obs.span(op_name, cost=cost):
+                            pass
+                """
+            },
+            rules=["SpanLabelStability"],
+        )
+        assert result.clean
+
+    def test_module_level_span_helper_also_checked(self, lint_tree):
+        result = lint_tree(
+            {
+                "ckks/bootstrap.py": """
+                def run(span, k):
+                    with span(f"EvalMod {k}"):
+                        pass
+                """
+            },
+            rules=["SpanLabelStability"],
+        )
+        assert len(result.findings) == 1
+
+
+# ----------------------------------------------------------------------
+# ExactArithPurity
+# ----------------------------------------------------------------------
+class TestExactArithPurity:
+    def test_true_division_flagged_in_numth(self, lint_tree):
+        result = lint_tree(
+            {
+                "numth/modular.py": """
+                def half(a, q):
+                    return (a / 2) % q
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        assert rules_of(result) == [("ExactArithPurity", 3)]
+
+    def test_float_literal_and_builtin_flagged_in_ring(self, lint_tree):
+        result = lint_tree(
+            {
+                "ring/conversion.py": """
+                def approx(x):
+                    scale = 0.5
+                    return float(x) * scale
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        assert sorted(f.line for f in result.findings) == [3, 4]
+
+    def test_inexact_math_and_numpy_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "numth/ntt.py": """
+                import math
+                import numpy as np
+
+                def bits(n):
+                    return math.log2(n)
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        assert sorted(f.line for f in result.findings) == [3, 6]
+
+    def test_exact_math_subset_and_floordiv_are_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "numth/primes.py": """
+                import math
+
+                def reduce(d, x, y, n):
+                    d //= 2
+                    return math.gcd(abs(x - y), n), math.isqrt(n)
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        assert result.clean
+
+    def test_floats_allowed_outside_exact_paths(self, lint_tree):
+        result = lint_tree(
+            {
+                "hardware/roofline.py": """
+                import math
+
+                def seconds(ops, rate):
+                    return ops / rate + math.log2(rate) * 0.0
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# UnitsHygiene
+# ----------------------------------------------------------------------
+class TestUnitsHygiene:
+    def test_cross_assignment_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/matvec.py": """
+                def leak(cost):
+                    total_ops = cost.traffic.total
+                    return total_ops
+                """
+            },
+            rules=["UnitsHygiene"],
+        )
+        assert rules_of(result) == [("UnitsHygiene", 3)]
+
+    def test_additive_mixing_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "hardware/runtime.py": """
+                def combined(cost):
+                    return cost.ops.total + cost.traffic.total
+                """
+            },
+            rules=["UnitsHygiene"],
+        )
+        assert rules_of(result) == [("UnitsHygiene", 3)]
+
+    def test_accessor_name_contract_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/events.py": """
+                class MemTraffic:
+                    def total_bytes(self):
+                        return self.mults + self.adds
+                """
+            },
+            rules=["UnitsHygiene"],
+        )
+        assert [f.rule for f in result.findings] == ["UnitsHygiene"]
+
+    def test_matching_units_and_derived_units_are_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/events.py": """
+                def summarise(self, other, limb_bytes, limbs):
+                    total_bytes = self.traffic.total + other.traffic.total
+                    total_ops = self.ops.total - other.ops.total
+                    intensity = total_ops / total_bytes
+                    scaled_bytes = limb_bytes * limbs
+                    return total_bytes, total_ops, intensity, scaled_bytes
+                """
+            },
+            rules=["UnitsHygiene"],
+        )
+        assert result.clean
+
+    def test_unknown_units_never_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "search/space.py": """
+                def mix(a, b):
+                    return a + b
+                """
+            },
+            rules=["UnitsHygiene"],
+        )
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# ConfigFlagCoverage
+# ----------------------------------------------------------------------
+_CONFIG = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MADConfig:
+    cache_o1: bool = False
+    mod_down_merge: bool = False
+"""
+
+
+class TestConfigFlagCoverage:
+    def test_dead_flag_reported_at_definition(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/optimizations.py": _CONFIG,
+                "perf/primitives.py": """
+                def cost(config):
+                    if config.cache_o1:
+                        return 1
+                    return 2
+                """,
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "ConfigFlagCoverage"
+        assert finding.path.endswith("perf/optimizations.py")
+        assert "mod_down_merge" in finding.message
+
+    def test_all_flags_read_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/optimizations.py": _CONFIG,
+                "perf/primitives.py": """
+                def cost(config):
+                    return (config.cache_o1, config.mod_down_merge)
+                """,
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert result.clean
+
+    def test_reads_in_defining_module_do_not_count(self, lint_tree):
+        # __post_init__ validation reads are not model coverage.
+        result = lint_tree(
+            {
+                "perf/optimizations.py": _CONFIG
+                + """
+
+    def __post_init__(self):
+        assert not (self.mod_down_merge and not self.cache_o1)
+                """,
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert {f.message.split("`")[1] for f in result.findings} == {
+            "cache_o1",
+            "mod_down_merge",
+        }
+
+    def test_reads_outside_perf_do_not_count(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/optimizations.py": _CONFIG,
+                "report/tables.py": """
+                def cost(config):
+                    return (config.cache_o1, config.mod_down_merge)
+                """,
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert len(result.findings) == 2
+
+    def test_no_madconfig_definition_is_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/primitives.py": """
+                def cost(config):
+                    return config.cache_o1
+                """
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert result.clean

@@ -1,0 +1,134 @@
+"""Suppression-comment handling: trailing, standalone, file-level."""
+
+from repro.lint import SuppressionIndex
+
+
+_VIOLATION = """
+def cost(limbs):
+    dram_bytes = 0
+    dram_bytes += 8 * limbs{trailing}
+    return dram_bytes
+"""
+
+
+class TestSuppressionComments:
+    def test_trailing_comment_suppresses_its_line(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": _VIOLATION.format(
+                    trailing="  # lint: disable=LedgerDiscipline"
+                )
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_standalone_comment_suppresses_next_line(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                def cost(limbs):
+                    dram_bytes = 0
+                    # lint: disable=LedgerDiscipline
+                    dram_bytes += 8 * limbs
+                    return dram_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_file_level_disable(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                # lint: disable-file=LedgerDiscipline
+                def cost(limbs):
+                    dram_bytes = 0
+                    dram_bytes += 8 * limbs
+                    dram_bytes += 16 * limbs
+                    return dram_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert result.clean
+        assert result.suppressed == 2
+
+    def test_disable_all_suppresses_every_rule(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                # lint: disable-file=all
+                def cost(report, obs, i):
+                    report.ops = None
+                    with obs.span(f"Phase {i}"):
+                        pass
+                """
+            },
+            rules=["LedgerDiscipline", "SpanLabelStability"],
+        )
+        assert result.clean
+        assert result.suppressed == 2
+
+    def test_other_rules_still_reported(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                def cost(report, obs, i):
+                    report.ops = None  # lint: disable=SpanLabelStability
+                """
+            },
+            rules=["LedgerDiscipline", "SpanLabelStability"],
+        )
+        assert [f.rule for f in result.findings] == ["LedgerDiscipline"]
+        assert result.suppressed == 0
+
+    def test_comma_separated_rule_list(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                def cost(report, obs, i):
+                    # lint: disable=LedgerDiscipline, SpanLabelStability
+                    report.ops = obs.span(f"Phase {i}")
+                """
+            },
+            rules=["LedgerDiscipline", "SpanLabelStability"],
+        )
+        assert result.clean
+        assert result.suppressed == 2
+
+    def test_suppression_must_match_finding_line(self, lint_tree):
+        result = lint_tree(
+            {
+                "perf/a.py": """
+                def cost(limbs):
+                    dram_bytes = 0  # lint: disable=LedgerDiscipline
+                    dram_bytes += 8 * limbs
+                    return dram_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert len(result.findings) == 1
+
+
+class TestSuppressionIndex:
+    def test_directive_parsing(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # lint: disable=RuleA\n"
+            "# lint: disable=RuleB\n"
+            "y = 2\n"
+            "# lint: disable-file=RuleC\n"
+        )
+        assert index.is_suppressed("RuleA", 1)
+        assert not index.is_suppressed("RuleA", 2)
+        assert index.is_suppressed("RuleB", 3)
+        assert index.is_suppressed("RuleC", 999)
+        assert not index.is_suppressed("RuleD", 1)
+
+    def test_non_directive_comments_ignored(self):
+        index = SuppressionIndex.from_source("x = 1  # plain comment\n")
+        assert not index.is_suppressed("RuleA", 1)
