@@ -1,0 +1,124 @@
+"""Differential validation of the Fig. 2 ladder by trace-driven simulation.
+
+Replays every caching-ladder rung's primitive schedules through the
+pin-aware simulated cache at the paper's capacities and asserts the
+simulated per-stream DRAM bytes reproduce the analytical ladder within
+tolerance — the end-to-end gate the ``memsim`` CI job runs.
+
+The one place the analytical fit thresholds genuinely break is
+documented and *asserted*, not tolerated: at 32 MB the O(beta) x
+limb-reorder composition inside PtMatVecMult needs 2*k*(baby-1) = 168
+resident limbs (~176 MB), so simulated ct_read exceeds the analytical
+claim with thousands of forced pinned-block evictions; bootstrap
+inherits the break through CoeffToSlot/SlotToCoeff.  At 192 MB the
+working set fits and both are bit-exact again.
+"""
+
+import pytest
+
+from repro.memsim.validate import (
+    DEFAULT_TOLERANCE,
+    EXPECTED_FIT_BREAKS,
+    run_validation,
+    validate_memsim_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_validation()
+
+
+@pytest.mark.repro("Figure 2 (trace-driven)")
+def test_memsim_ladder_validates(benchmark, report):
+    sampled = benchmark.pedantic(
+        run_validation,
+        kwargs={"primitives": ["mult"], "runs": None},
+        rounds=1,
+        iterations=1,
+    )
+    assert sampled["passed"]
+    validate_memsim_report(report)
+    assert report["passed"], "differential validation failed"
+
+    print(f"\n{'Rung':18} {'Cache':>7} {'worst |rel|':>12} {'breaks':>7}")
+    for run in report["runs"]:
+        worst = max(e["max_abs_rel_error"] for e in run["primitives"])
+        breaks = sum(1 for e in run["primitives"] if e["fit_broken"])
+        print(
+            f"{run['label']:18} {run['cache_mb']:5.0f}MB {worst:12.4f} "
+            f"{breaks:7d}"
+        )
+        benchmark.extra_info[f"{run['label']}@{run['cache_mb']:.0f}MB"] = worst
+
+
+def test_every_fitting_rung_within_tolerance(report):
+    """<= 5% per stream wherever no documented break applies."""
+    for run in report["runs"]:
+        for entry in run["primitives"]:
+            if entry["expected_fit_break"]:
+                continue
+            assert entry["max_abs_rel_error"] <= DEFAULT_TOLERANCE, (
+                f"{run['label']}@{run['cache_mb']}MB {entry['primitive']}: "
+                f"rel error {entry['max_abs_rel_error']:.4f}"
+            )
+
+
+def test_fitting_rungs_are_bit_exact(report):
+    """Stronger than the tolerance gate: streaming-read semantics make
+    every non-breaking rung *exactly* reproduce the analytical bytes."""
+    for run in report["runs"]:
+        for entry in run["primitives"]:
+            if entry["expected_fit_break"]:
+                continue
+            for field, stream in entry["streams"].items():
+                assert stream["simulated"] == stream["analytical"], (
+                    f"{run['label']}@{run['cache_mb']}MB "
+                    f"{entry['primitive']}.{field}"
+                )
+
+
+def test_documented_fit_break_at_32mb(report):
+    """The analytical fit threshold breaks exactly where documented."""
+    rung = next(
+        r
+        for r in report["runs"]
+        if r["label"] == "Limb Re-order" and r["cache_mb"] == 32.0
+    )
+    by_name = {e["primitive"]: e for e in rung["primitives"]}
+
+    matvec = by_name["pt_mat_vec_mult"]
+    assert matvec["fit_broken"] and matvec["expected_fit_break"]
+    assert matvec["pin_failures"] > 1000  # forced pinned-block evictions
+    assert matvec["streams"]["ct_read"]["rel_error"] > 1.0  # >100% excess
+    # Key reads are uncacheable: never affected by a capacity break.
+    assert matvec["streams"]["key_read"]["rel_error"] == 0.0
+
+    bootstrap = by_name["bootstrap"]
+    assert bootstrap["fit_broken"] and bootstrap["expected_fit_break"]
+    assert bootstrap["pin_failures"] > 1000
+    assert bootstrap["streams"]["ct_read"]["rel_error"] > 0.5
+
+    # Nothing else on this rung breaks.
+    others = set(by_name) - {"pt_mat_vec_mult", "bootstrap"}
+    assert not any(by_name[name]["fit_broken"] for name in others)
+
+
+def test_break_resolves_at_192mb(report):
+    """At 192 MB the reorder composition fits: exact again, zero pins."""
+    rung = next(r for r in report["runs"] if r["cache_mb"] == 192.0)
+    for entry in rung["primitives"]:
+        assert not entry["fit_broken"], entry["primitive"]
+        assert entry["pin_failures"] == 0, entry["primitive"]
+        assert entry["max_abs_rel_error"] == 0.0, entry["primitive"]
+
+
+def test_expected_breaks_table_matches_report(report):
+    """EXPECTED_FIT_BREAKS is exactly the set of observed divergences."""
+    observed = {
+        (run["label"], run["cache_mb"], entry["primitive"])
+        for run in report["runs"]
+        for entry in run["primitives"]
+        if entry["fit_broken"]
+    }
+    assert observed == set(EXPECTED_FIT_BREAKS)

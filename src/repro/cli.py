@@ -373,6 +373,50 @@ def _cmd_bench(args) -> int:
     return code if args.check or args.update else 0
 
 
+def _cmd_memsim(args) -> int:
+    from repro.memsim.validate import (
+        LADDER_PRIMITIVES,
+        render_report,
+        run_validation,
+        validate_memsim_report,
+    )
+
+    primitives = None
+    if args.primitive:
+        unknown = [p for p in args.primitive if p not in LADDER_PRIMITIVES]
+        if unknown:
+            raise SystemExit(
+                f"unknown primitive(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(LADDER_PRIMITIVES)}"
+            )
+        primitives = args.primitive
+
+    runs = None
+    if args.cache_mb is not None:
+        # Single-point validation at one capacity under one config,
+        # instead of the default Fig. 2 ladder matrix.
+        config = _CONFIGS[args.config]()
+        runs = [(args.config, config, args.cache_mb)]
+    report = run_validation(
+        params_key=args.params,
+        policy_name=args.policy,
+        tolerance=args.tolerance,
+        runs=runs,
+        primitives=primitives,
+    )
+    validate_memsim_report(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+    if args.json:
+        _print_json(report)
+    else:
+        print(render_report(report))
+        if args.out:
+            print(f"wrote memsim report to {args.out}")
+    return 0 if report["passed"] else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import lint_command
 
@@ -556,6 +600,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list bench workloads and exit"
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "memsim",
+        help="trace-driven simulation validating the analytical DRAM model",
+    )
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument(
+        "--config",
+        choices=_CONFIGS,
+        default="caching",
+        help="MAD config for --cache-mb single-point runs "
+        "(the default ladder sweeps all caching rungs)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=("lru", "belady", "pin"),
+        default="pin",
+        help="replacement policy for the simulated on-chip memory",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=None,
+        help="validate at one capacity (decimal MB) instead of the ladder",
+    )
+    p.add_argument(
+        "--primitive",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="validate only the named primitive (repeatable)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="per-stream relative-error gate (default 0.05)",
+    )
+    p.add_argument(
+        "--out", default=None, help="write memsim_report.json here"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_memsim)
 
     p = sub.add_parser(
         "lint",

@@ -13,12 +13,16 @@ Importing this package registers every rule with
   expressions never cross-assigned or added.
 * :class:`~repro.lint.rules.config.ConfigFlagCoverage` — every
   ``MADConfig`` flag is read by the performance model.
+* :class:`~repro.lint.rules.tracing.TraceDiscipline` — memsim trace
+  events are emitted only via ``TraceRecorder``, and simulated byte
+  counters accumulate only in ``memsim/accounting.py``.
 """
 
 from repro.lint.rules.config import ConfigFlagCoverage
 from repro.lint.rules.exact import ExactArithPurity
 from repro.lint.rules.ledger import LedgerDiscipline
 from repro.lint.rules.spans import SpanLabelStability
+from repro.lint.rules.tracing import TraceDiscipline
 from repro.lint.rules.units import UnitsHygiene
 
 __all__ = [
@@ -26,5 +30,6 @@ __all__ = [
     "ExactArithPurity",
     "LedgerDiscipline",
     "SpanLabelStability",
+    "TraceDiscipline",
     "UnitsHygiene",
 ]

@@ -7,8 +7,11 @@ of a shared ``CostReport``'s fields, silently skews every downstream
 figure.  This rule confines raw cost-field arithmetic to the three
 files that *are* the accounting core — ``perf/events.py`` (where the
 fields and their operators are defined), ``perf/ledger.py`` and
-``perf/cache.py`` — and requires everything else to build fresh
-reports.
+``perf/cache.py`` — plus ``memsim/accounting.py``, the one file where
+the trace-driven simulator is allowed to accumulate per-stream DRAM
+byte counters (see :class:`~repro.lint.rules.tracing.TraceDiscipline`
+for the memsim-side rules) — and requires everything else to build
+fresh reports.
 
 Two clauses:
 
@@ -38,7 +41,12 @@ COST_FIELDS = frozenset(
 _SUFFIXES = ("_bytes", "_ops")
 
 #: The accounting core where cost-field arithmetic is definitionally OK.
-ALLOWED_FILES = ("perf/events.py", "perf/ledger.py", "perf/cache.py")
+ALLOWED_FILES = (
+    "perf/events.py",
+    "perf/ledger.py",
+    "perf/cache.py",
+    "memsim/accounting.py",
+)
 
 
 def _is_cost_identifier(name: str) -> bool:
@@ -59,7 +67,7 @@ class LedgerDiscipline(Rule):
     description = (
         "cost accounting flows through CostReport/CostLedger: no mutation of "
         "cost fields and no raw *_bytes/*_ops accumulation outside "
-        "perf/events.py, perf/ledger.py, perf/cache.py"
+        "perf/events.py, perf/ledger.py, perf/cache.py, memsim/accounting.py"
     )
     node_types = (ast.Assign, ast.AugAssign)
 

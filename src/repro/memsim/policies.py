@@ -1,0 +1,225 @@
+"""Pluggable replacement policies for the simulated on-chip memory.
+
+Three policies bound the design space:
+
+* :class:`LRUPolicy` — the realistic default; a stack algorithm, so its
+  miss count is monotone non-increasing in capacity (no Belady anomaly).
+* :class:`BeladyPolicy` — the offline optimum (MIN): evict the resident
+  block whose next read lies farthest in the future, computed from trace
+  lookahead.  Lower-bounds what any online policy could achieve.
+* :class:`PinAwarePolicy` — LRU plus advisory pins: the schedule pins the
+  working set a MAD threshold assumes resident (the current digit, the
+  ``beta`` digit slice) and the policy refuses to evict it while any
+  unpinned victim exists.  A *forced* eviction of a pinned block is
+  counted in :attr:`~ReplacementPolicy.pin_failures` — the smoking gun
+  that an analytical fit-threshold does not hold at this capacity.
+
+All policies are deterministic: ties are broken by block id, never by
+iteration order of an unordered container or by ambient state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = [
+    "POLICIES",
+    "BeladyPolicy",
+    "LRUPolicy",
+    "PinAwarePolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]
+
+#: Sentinel next-use index for "never read again".
+NEVER = float("inf")
+
+
+class ReplacementPolicy:
+    """Interface the simulator drives; subclasses own the resident set."""
+
+    name: str = "base"
+    #: True when the simulator must precompute next-use indices (Belady).
+    needs_future: bool = False
+
+    def __init__(self) -> None:
+        self.capacity = 0
+        self.pin_failures = 0
+
+    def reset(self, capacity: int) -> None:
+        """Start a fresh replay with room for ``capacity`` blocks."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.pin_failures = 0
+
+    def contains(self, block: int) -> bool:
+        raise NotImplementedError
+
+    def touch(self, block: int, next_use: float) -> None:
+        """Record a hit on a resident block."""
+        raise NotImplementedError
+
+    def insert(self, block: int, next_use: float) -> Optional[int]:
+        """Make ``block`` resident; return the evicted block, if any."""
+        raise NotImplementedError
+
+    def discard(self, block: int) -> None:
+        """Drop ``block`` if resident (flush hint — not an eviction)."""
+        raise NotImplementedError
+
+    def resident(self) -> int:
+        raise NotImplementedError
+
+    # Pins are advisory; only the pin-aware policy overrides these.
+    def pin(self, blocks: Iterable[int]) -> None:
+        pass
+
+    def unpin(self, blocks: Iterable[int]) -> None:
+        pass
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used over all resident blocks."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def reset(self, capacity: int) -> None:
+        super().reset(capacity)
+        self._order = OrderedDict()
+
+    def contains(self, block: int) -> bool:
+        return block in self._order
+
+    def touch(self, block: int, next_use: float) -> None:
+        self._order.move_to_end(block)
+
+    def insert(self, block: int, next_use: float) -> Optional[int]:
+        if self.capacity == 0:
+            return None
+        self._order[block] = None
+        self._order.move_to_end(block)
+        if len(self._order) > self.capacity:
+            victim, _ = self._order.popitem(last=False)
+            return victim
+        return None
+
+    def discard(self, block: int) -> None:
+        self._order.pop(block, None)
+
+    def resident(self) -> int:
+        return len(self._order)
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Offline-optimal (MIN): evict the farthest-next-read block."""
+
+    name = "belady"
+    needs_future = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_use: Dict[int, float] = {}
+
+    def reset(self, capacity: int) -> None:
+        super().reset(capacity)
+        self._next_use = {}
+
+    def contains(self, block: int) -> bool:
+        return block in self._next_use
+
+    def touch(self, block: int, next_use: float) -> None:
+        self._next_use[block] = next_use
+
+    def insert(self, block: int, next_use: float) -> Optional[int]:
+        if self.capacity == 0:
+            return None
+        self._next_use[block] = next_use
+        if len(self._next_use) > self.capacity:
+            # Farthest next read; ties broken toward the larger block id
+            # so eviction order is deterministic.
+            victim = max(
+                self._next_use, key=lambda b: (self._next_use[b], b)
+            )
+            del self._next_use[victim]
+            return victim
+        return None
+
+    def discard(self, block: int) -> None:
+        self._next_use.pop(block, None)
+
+    def resident(self) -> int:
+        return len(self._next_use)
+
+
+class PinAwarePolicy(ReplacementPolicy):
+    """LRU that refuses to evict pinned blocks while any other victim exists."""
+
+    name = "pin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+        self._pinned: Set[int] = set()
+
+    def reset(self, capacity: int) -> None:
+        super().reset(capacity)
+        self._order = OrderedDict()
+        self._pinned = set()
+
+    def contains(self, block: int) -> bool:
+        return block in self._order
+
+    def touch(self, block: int, next_use: float) -> None:
+        self._order.move_to_end(block)
+
+    def insert(self, block: int, next_use: float) -> Optional[int]:
+        if self.capacity == 0:
+            return None
+        self._order[block] = None
+        self._order.move_to_end(block)
+        if len(self._order) <= self.capacity:
+            return None
+        for candidate in self._order:
+            if candidate not in self._pinned:
+                del self._order[candidate]
+                return candidate
+        # Every resident block is pinned: the pinned working set exceeds
+        # capacity, i.e. the analytical fit assumption is broken here.
+        self.pin_failures += 1
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+    def discard(self, block: int) -> None:
+        self._order.pop(block, None)
+
+    def resident(self) -> int:
+        return len(self._order)
+
+    def pin(self, blocks: Iterable[int]) -> None:
+        self._pinned.update(blocks)
+
+    def unpin(self, blocks: Iterable[int]) -> None:
+        self._pinned.difference_update(blocks)
+
+
+POLICIES = {
+    LRUPolicy.name: LRUPolicy,
+    BeladyPolicy.name: BeladyPolicy,
+    PinAwarePolicy.name: PinAwarePolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """A fresh policy instance by name (``lru`` / ``belady`` / ``pin``)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {', '.join(sorted(POLICIES))}"
+        ) from None

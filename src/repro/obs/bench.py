@@ -65,6 +65,7 @@ DEFAULT_SPECS: Tuple[BenchSpec, ...] = (
     BenchSpec("bootstrap", "optimal", "all", cache_mb=256.0, design="BTS"),
     BenchSpec("helr", "optimal", "all", cache_mb=256.0, design="BTS"),
     BenchSpec("resnet", "optimal", "all", cache_mb=256.0, design="BTS"),
+    BenchSpec("memsim", "baseline", "caching", cache_mb=32.0),
 )
 
 
@@ -106,6 +107,46 @@ def primitive_micro_cost(params, config, cache=None):
     return total
 
 
+def memsim_micro_cost(params, config, cache_mb: float = 32.0):
+    """Traced memsim micro-workload: replay each primitive's schedule.
+
+    The recorded cost of each span is the *simulated* DRAM traffic of the
+    primitive's trace at ``cache_mb`` under LRU — so any drift in the
+    schedule generators, the replay semantics, or a replacement policy
+    shows up as a gated traffic change, attributed to the primitive that
+    moved.
+    """
+    from repro.memsim.policies import make_policy
+    from repro.memsim.schedules import ScheduleBuilder
+    from repro.memsim.simulator import MemorySimulator
+    from repro.perf.cache import MB
+    from repro.perf.events import CostReport
+
+    builder = ScheduleBuilder(params, config)
+    limbs = params.max_limbs
+    schedules = (
+        builder.decomp(limbs),
+        builder.mod_up(limbs),
+        builder.ksk_inner_product(limbs),
+        builder.mod_down(limbs),
+        builder.key_switch(limbs),
+        builder.mult(limbs),
+        builder.rotate(limbs),
+        builder.pt_mat_vec_mult(limbs, builder.dft_diagonals()),
+    )
+    total = CostReport()
+    with obs.span("MemsimMicro", cache_mb=cache_mb, params=params.describe()):
+        for schedule in schedules:
+            with obs.span("memsim:bench", primitive=schedule.label):
+                result = MemorySimulator(
+                    int(cache_mb * MB), make_policy("lru")
+                ).replay(schedule.trace)
+                cost = CostReport(traffic=result.traffic)
+                obs.record_cost(cost)
+            total = total + cost
+    return total
+
+
 def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
     """(zero-arg traced runner, workload display name) for a spec."""
     from repro.cli import _CONFIGS, _PARAM_SETS
@@ -117,6 +158,11 @@ def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
 
     if spec.workload == "micro":
         return lambda: primitive_micro_cost(params, config, cache), "micro"
+    if spec.workload == "memsim":
+        return (
+            lambda: memsim_micro_cost(params, config, spec.cache_mb or 32.0),
+            "memsim",
+        )
     if spec.workload == "bootstrap":
         return (
             lambda: BootstrapModel(params, config, cache).ledger().total,

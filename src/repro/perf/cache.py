@@ -8,6 +8,23 @@ Section 3.1:
 * ``O(beta)``-digit caching needs ``2*beta`` limbs (~6 MB for beta = 3).
 * ``O(alpha)``-limb caching needs ``2*alpha + 3`` limbs (~27 MB for
   alpha = 12), and limb re-ordering rides on the same capacity.
+
+**Byte convention.**  Cache sizes here are *decimal* megabytes
+(``MB = 10**6``, the unit hardware specs quote), while a limb of an
+N = 2^17 ring element occupies ``8 * 2**17 = 2**20`` bytes — one *binary*
+mebibyte.  The two differ by ~4.9%, and the paper's shorthand glosses
+over it: its "1 MB" limb is really 1.048576 decimal MB, so a literal
+``CacheModel.from_mb(1.0)`` holds **zero** whole limbs
+(``10**6 // 2**20 == 0``) and a "32 MB" cache holds 30 limbs, not 32.
+``capacity_limbs`` floor-divides on purpose — a partial limb cannot be
+cached — and every consumer of this model (the analytical thresholds
+below and :meth:`repro.memsim.simulator.MemorySimulator.capacity_blocks`,
+which uses the *same* floor division) inherits the convention, so
+analytical fit decisions and simulated replays always agree on what a
+given cache size holds.  Working sets within ~5% of capacity (e.g. 31
+limbs against a "32 MB" budget) land on opposite sides of the threshold
+depending on which unit is meant; keep quotes of paper cache sizes in
+decimal MB and convert explicitly.
 """
 
 from __future__ import annotations
@@ -17,6 +34,7 @@ from dataclasses import dataclass
 from repro.obs import state as obs
 from repro.params import CkksParams
 
+#: Decimal megabyte — see the byte-convention note in the module docstring.
 MB = 10**6
 
 
@@ -39,7 +57,12 @@ class CacheModel:
         return self.size_bytes / MB
 
     def capacity_limbs(self, params: CkksParams) -> int:
-        """Whole ciphertext limbs this memory can hold."""
+        """Whole ciphertext limbs this memory can hold.
+
+        Floor division: a partial limb is not cacheable.  Note the
+        decimal-MB vs binary-limb drift documented in the module
+        docstring — ``from_mb(1.0)`` holds 0 limbs at N = 2^17.
+        """
         return self.size_bytes // params.limb_bytes
 
     # ------------------------------------------------------------------

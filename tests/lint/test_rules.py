@@ -51,7 +51,13 @@ class TestLedgerDiscipline:
         assert rules_of(result) == [("LedgerDiscipline", 3)]
 
     @pytest.mark.parametrize(
-        "core_file", ["perf/events.py", "perf/ledger.py", "perf/cache.py"]
+        "core_file",
+        [
+            "perf/events.py",
+            "perf/ledger.py",
+            "perf/cache.py",
+            "memsim/accounting.py",
+        ],
     )
     def test_ledger_core_files_are_exempt(self, lint_tree, core_file):
         result = lint_tree(
@@ -402,3 +408,137 @@ class TestConfigFlagCoverage:
             rules=["ConfigFlagCoverage"],
         )
         assert result.clean
+
+
+# ----------------------------------------------------------------------
+# TraceDiscipline
+# ----------------------------------------------------------------------
+class TestTraceDiscipline:
+    def test_direct_event_construction_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/schedules.py": """
+                from repro.memsim.trace import Access
+
+                def emit(events, block):
+                    events.append(Access("r", "ct", block))
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert rules_of(result) == [("TraceDiscipline", 5)]
+        assert "TraceRecorder" in result.findings[0].message
+
+    @pytest.mark.parametrize(
+        "event", ["BulkAccess", "PinEvent", "FlushEvent"]
+    )
+    def test_every_event_type_is_guarded(self, lint_tree, event):
+        result = lint_tree(
+            {
+                "memsim/simulator.py": f"""
+                from repro.memsim import trace
+
+                def emit(events):
+                    events.append(trace.{event}())
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert rules_of(result) == [("TraceDiscipline", 5)]
+
+    def test_trace_module_may_construct_events(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/trace.py": """
+                def read(self, block):
+                    self._events.append(Access("r", "ct", block))
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert result.clean
+
+    def test_isinstance_checks_are_not_construction(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/simulator.py": """
+                from repro.memsim.trace import Access
+
+                def replay(events):
+                    return [e for e in events if isinstance(e, Access)]
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert result.clean
+
+    def test_byte_accumulation_outside_accounting_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/simulator.py": """
+                def replay(self, trace):
+                    self.ct_read_bytes += trace.block_bytes
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert rules_of(result) == [("TraceDiscipline", 3)]
+        assert "DramCounters" in result.findings[0].message
+
+    def test_local_shadow_total_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/validate.py": """
+                def total(trace):
+                    simulated_bytes = 0
+                    for event in trace:
+                        simulated_bytes += 8
+                    return simulated_bytes
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert rules_of(result) == [("TraceDiscipline", 5)]
+
+    def test_accounting_module_may_accumulate(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/accounting.py": """
+                def add_read(self, nbytes):
+                    self.ct_read_bytes += nbytes
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert result.clean
+
+    def test_accumulation_outside_memsim_not_this_rules_business(
+        self, lint_tree
+    ):
+        result = lint_tree(
+            {
+                "apps/workload.py": """
+                def total():
+                    dram_bytes = 0
+                    dram_bytes += 8
+                    return dram_bytes
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert result.clean  # LedgerDiscipline territory, not TraceDiscipline
+
+    def test_suppression_comment_respected(self, lint_tree):
+        result = lint_tree(
+            {
+                "memsim/debug.py": """
+                def probe(events, block):
+                    from repro.memsim.trace import Access
+
+                    events.append(Access("r", "ct", block))  # lint: disable=TraceDiscipline
+                """
+            },
+            rules=["TraceDiscipline"],
+        )
+        assert result.clean
+        assert result.suppressed == 1

@@ -1,0 +1,143 @@
+"""Replacement policies: LRU order, Belady lookahead, pin-aware eviction."""
+
+import pytest
+
+from repro.memsim.policies import (
+    NEVER,
+    POLICIES,
+    BeladyPolicy,
+    LRUPolicy,
+    PinAwarePolicy,
+    make_policy,
+)
+
+
+class TestFactory:
+    def test_make_policy_by_name(self):
+        for name, cls in POLICIES.items():
+            policy = make_policy(name)
+            assert isinstance(policy, cls)
+            assert policy.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("fifo")
+
+    def test_only_belady_needs_future(self):
+        assert BeladyPolicy.needs_future
+        assert not LRUPolicy.needs_future
+        assert not PinAwarePolicy.needs_future
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        lru = LRUPolicy()
+        lru.reset(2)
+        assert lru.insert(1, NEVER) is None
+        assert lru.insert(2, NEVER) is None
+        lru.touch(1, NEVER)  # 2 is now the LRU block
+        assert lru.insert(3, NEVER) == 2
+        assert lru.contains(1) and lru.contains(3)
+
+    def test_zero_capacity_never_holds_anything(self):
+        lru = LRUPolicy()
+        lru.reset(0)
+        assert lru.insert(1, NEVER) is None
+        assert not lru.contains(1)
+        assert lru.resident() == 0
+
+    def test_discard_is_not_an_eviction(self):
+        lru = LRUPolicy()
+        lru.reset(2)
+        lru.insert(1, NEVER)
+        lru.discard(1)
+        lru.discard(99)  # absent: no-op
+        assert lru.resident() == 0
+
+    def test_reset_clears_contents(self):
+        lru = LRUPolicy()
+        lru.reset(2)
+        lru.insert(1, NEVER)
+        lru.reset(2)
+        assert not lru.contains(1)
+
+
+class TestBelady:
+    def test_evicts_farthest_next_use(self):
+        belady = BeladyPolicy()
+        belady.reset(2)
+        belady.insert(1, 10)
+        belady.insert(2, 5)
+        assert belady.insert(3, 7) == 1  # block 1 is read farthest away
+        assert belady.contains(2) and belady.contains(3)
+
+    def test_never_read_again_is_first_victim(self):
+        belady = BeladyPolicy()
+        belady.reset(2)
+        belady.insert(1, NEVER)
+        belady.insert(2, 3)
+        assert belady.insert(3, 4) == 1
+
+    def test_ties_break_toward_larger_block_id(self):
+        belady = BeladyPolicy()
+        belady.reset(2)
+        belady.insert(1, NEVER)
+        belady.insert(2, NEVER)
+        assert belady.insert(3, 1) == 2
+
+    def test_touch_updates_next_use(self):
+        belady = BeladyPolicy()
+        belady.reset(2)
+        belady.insert(1, 5)
+        belady.insert(2, 6)
+        belady.touch(1, NEVER)  # block 1 will never be read again
+        assert belady.insert(3, 4) == 1
+
+
+class TestPinAware:
+    def test_skips_pinned_victims(self):
+        pin = PinAwarePolicy()
+        pin.reset(2)
+        pin.insert(1, NEVER)
+        pin.insert(2, NEVER)
+        pin.pin([1])
+        # 1 is the LRU block but pinned, so 2 must go.
+        assert pin.insert(3, NEVER) == 2
+        assert pin.contains(1)
+        assert pin.pin_failures == 0
+
+    def test_all_pinned_forces_eviction_and_counts_failure(self):
+        pin = PinAwarePolicy()
+        pin.reset(2)
+        pin.insert(1, NEVER)
+        pin.insert(2, NEVER)
+        pin.pin([1, 2, 3])
+        assert pin.insert(3, NEVER) == 1  # forced: evicts plain LRU
+        assert pin.pin_failures == 1
+
+    def test_unpin_restores_eviction_eligibility(self):
+        pin = PinAwarePolicy()
+        pin.reset(2)
+        pin.insert(1, NEVER)
+        pin.insert(2, NEVER)
+        pin.pin([1])
+        pin.unpin([1])
+        assert pin.insert(3, NEVER) == 1
+        assert pin.pin_failures == 0
+
+    def test_reset_clears_pins_and_failures(self):
+        pin = PinAwarePolicy()
+        pin.reset(1)
+        pin.insert(1, NEVER)
+        pin.pin([1, 2])
+        pin.insert(2, NEVER)
+        assert pin.pin_failures == 1
+        pin.reset(1)
+        assert pin.pin_failures == 0
+        pin.insert(3, NEVER)
+        assert pin.insert(4, NEVER) == 3  # old pins are gone
+        assert pin.pin_failures == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PinAwarePolicy().reset(-1)

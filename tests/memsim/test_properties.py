@@ -1,0 +1,108 @@
+"""Property-based invariants of the replay core (hypothesis).
+
+* Belady (offline MIN) never takes more read misses than LRU.
+* LRU traffic is monotone non-increasing in capacity (stack property).
+* Replay is bit-identical across repeated runs (determinism).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.policies import make_policy
+from repro.memsim.simulator import MemorySimulator
+from repro.memsim.trace import TraceRecorder
+
+BLOCK = 64
+
+#: (op, limb) pairs over a small buffer; op space spans every event kind.
+_FULL_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "stream", "write", "wres", "scratch", "flush"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+#: Demand-paging subset (allocating reads + plain writes): the classical
+#: setting in which Belady's MIN optimality is proven.
+_DEMAND_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def build_trace(ops):
+    rec = TraceRecorder(block_bytes=BLOCK, label="prop")
+    buf = rec.alloc("b", 10)
+    for op, limb in ops:
+        if op == "read":
+            rec.read(buf[limb])
+        elif op == "stream":
+            rec.read(buf[limb], allocate=False)
+        elif op == "write":
+            rec.write(buf[limb])
+        elif op == "wres":
+            rec.write(buf[limb], resident=True)
+        elif op == "scratch":
+            rec.scratch(buf[limb])
+        else:
+            rec.flush_blocks((buf[limb],))
+    return rec.finish()
+
+
+def replay(trace, blocks, policy):
+    return MemorySimulator(blocks * BLOCK, make_policy(policy)).replay(trace)
+
+
+class TestBeladyOptimality:
+    @given(ops=_DEMAND_OPS, capacity=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_belady_never_worse_than_lru(self, ops, capacity):
+        trace = build_trace(ops)
+        belady = replay(trace, capacity, "belady")
+        lru = replay(trace, capacity, "lru")
+        assert belady.stats.misses <= lru.stats.misses
+        assert belady.traffic.ct_read <= lru.traffic.ct_read
+
+
+class TestLRUMonotonicity:
+    @given(
+        ops=_FULL_OPS,
+        small=st.integers(min_value=0, max_value=10),
+        extra=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_traffic_monotone_non_increasing_in_capacity(
+        self, ops, small, extra
+    ):
+        trace = build_trace(ops)
+        smaller = replay(trace, small, "lru")
+        larger = replay(trace, small + extra, "lru")
+        assert larger.traffic.ct_read <= smaller.traffic.ct_read
+        assert larger.stats.misses <= smaller.stats.misses
+        # Write-through: write traffic is capacity-independent.
+        assert larger.traffic.ct_write == smaller.traffic.ct_write
+
+
+class TestDeterminism:
+    @given(
+        ops=_FULL_OPS,
+        capacity=st.integers(min_value=0, max_value=12),
+        policy=st.sampled_from(["lru", "belady", "pin"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replay_is_bit_identical(self, ops, capacity, policy):
+        trace = build_trace(ops)
+        first = replay(trace, capacity, policy)
+        second = replay(trace, capacity, policy)
+        assert first.traffic == second.traffic
+        assert first.stats == second.stats
+
+    @given(ops=_FULL_OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_generation_is_bit_identical(self, ops):
+        assert build_trace(ops).events == build_trace(ops).events

@@ -1,0 +1,175 @@
+"""MemorySimulator replay semantics against hand-built traces."""
+
+import pytest
+
+from repro.memsim.policies import make_policy
+from repro.memsim.simulator import MemorySimulator
+from repro.memsim.trace import KEY, PT, TraceRecorder
+
+BLOCK = 64
+
+
+def sim(blocks, policy="lru"):
+    return MemorySimulator(blocks * BLOCK, make_policy(policy))
+
+
+class TestGeometry:
+    def test_capacity_floor_divides_like_cache_model(self):
+        assert MemorySimulator(BLOCK * 3 + 1).capacity_blocks(BLOCK) == 3
+        assert MemorySimulator(BLOCK - 1).capacity_blocks(BLOCK) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySimulator(-1)
+
+    def test_default_policy_is_lru(self):
+        assert MemorySimulator(BLOCK).policy.name == "lru"
+
+
+class TestReads:
+    def test_cold_miss_then_hit(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        rec.read(buf[0])
+        trace = rec.finish()
+        result = sim(4).replay(trace)
+        assert result.stats.misses == 1
+        assert result.stats.hits == 1
+        assert result.traffic.ct_read == BLOCK
+        assert result.stats.hit_rate == 0.5
+
+    def test_streaming_read_never_allocates(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0], allocate=False)
+        rec.read(buf[0], allocate=False)
+        result = sim(4).replay(rec.finish())
+        assert result.stats.misses == 2
+        assert result.traffic.ct_read == 2 * BLOCK
+
+    def test_streaming_read_still_hits_resident_blocks(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])  # allocates
+        rec.read(buf[0], allocate=False)
+        result = sim(4).replay(rec.finish())
+        assert result.stats.hits == 1
+        assert result.traffic.ct_read == BLOCK
+
+    def test_zero_capacity_counts_every_read(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        rec.read(buf[0])
+        result = sim(0).replay(rec.finish())
+        assert result.stats.misses == 2
+        assert result.traffic.ct_read == 2 * BLOCK
+
+
+class TestWrites:
+    def test_writes_are_write_through(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.write(buf[0])
+        rec.write(buf[0])
+        result = sim(4).replay(rec.finish())
+        assert result.traffic.ct_write == 2 * BLOCK
+
+    def test_non_resident_write_does_not_allocate(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.write(buf[0])
+        rec.read(buf[0])  # must come back from DRAM
+        result = sim(4).replay(rec.finish())
+        assert result.traffic.ct_read == BLOCK
+
+    def test_resident_write_allocates(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.write(buf[0], resident=True)
+        rec.read(buf[0])  # served from cache
+        result = sim(4).replay(rec.finish())
+        assert result.traffic.ct_read == 0
+        assert result.traffic.ct_write == BLOCK
+
+
+class TestScratchAndFlush:
+    def test_scratch_allocates_without_traffic(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.scratch(buf[0])
+        rec.read(buf[0])
+        result = sim(4).replay(rec.finish())
+        assert result.traffic.ct_read == 0
+        assert result.traffic.ct_write == 0
+
+    def test_evicted_scratch_is_refetched_from_dram(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        acc = rec.alloc("acc", 1)
+        noise = rec.alloc("noise", 2)
+        rec.scratch(acc[0])
+        rec.read_buffer(noise)  # evicts the accumulator (capacity 2)
+        rec.read(acc[0])
+        result = sim(2).replay(rec.finish())
+        assert result.traffic.ct_read == 3 * BLOCK  # noise x2 + refill
+
+    def test_flush_drops_blocks_without_traffic(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        rec.flush(buf)
+        rec.read(buf[0])
+        result = sim(4).replay(rec.finish())
+        assert result.stats.misses == 2
+        assert result.stats.evictions == 0
+
+
+class TestBulkAndPins:
+    def test_bulk_streams_bypass_the_cache(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        rec.read_stream(KEY, 3)
+        rec.read_stream(PT, 2)
+        result = sim(1).replay(rec.finish())
+        assert result.traffic.key_read == 3 * BLOCK
+        assert result.traffic.pt_read == 2 * BLOCK
+        assert result.stats.accesses == 0  # no cache interaction
+
+    def test_pins_protect_blocks_under_pin_policy(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        hot = rec.alloc("hot", 1)
+        cold = rec.alloc("cold", 2)
+        rec.read(hot[0])
+        rec.pin(hot)
+        rec.read_buffer(cold)
+        rec.read(hot[0])  # still resident despite the cold sweep
+        result = sim(2, "pin").replay(rec.finish())
+        assert result.stats.hits == 1
+        assert result.pin_failures == 0
+
+    def test_overcommitted_pins_are_counted(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 3)
+        rec.pin(buf)
+        rec.read_buffer(buf)
+        result = sim(2, "pin").replay(rec.finish())
+        assert result.pin_failures > 0
+
+    def test_lru_ignores_pins(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 3)
+        rec.pin(buf)
+        rec.read_buffer(buf)
+        result = sim(2, "lru").replay(rec.finish())
+        assert result.pin_failures == 0
+
+
+class TestResult:
+    def test_result_records_run_geometry(self):
+        rec = TraceRecorder(block_bytes=BLOCK)
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        result = sim(5, "belady").replay(rec.finish())
+        assert result.capacity_blocks == 5
+        assert result.block_bytes == BLOCK
+        assert result.policy == "belady"

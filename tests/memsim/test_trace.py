@@ -1,0 +1,167 @@
+"""TraceRecorder / Trace: event emission, block identity, geometry."""
+
+import pytest
+
+from repro.memsim.trace import (
+    CT,
+    KEY,
+    PT,
+    READ,
+    SCRATCH,
+    WRITE,
+    Access,
+    Buffer,
+    BulkAccess,
+    FlushEvent,
+    PinEvent,
+    TraceRecorder,
+)
+
+BLOCK = 64
+
+
+def recorder():
+    return TraceRecorder(block_bytes=BLOCK, label="t")
+
+
+class TestBuffer:
+    def test_indexing_maps_to_block_ids(self):
+        buf = Buffer("b", start=10, limbs=3)
+        assert [buf[0], buf[1], buf[2]] == [10, 11, 12]
+        assert list(buf.blocks()) == [10, 11, 12]
+        assert len(buf) == 3
+
+    def test_out_of_range_index_raises(self):
+        buf = Buffer("b", start=0, limbs=2)
+        with pytest.raises(IndexError):
+            buf[2]
+        with pytest.raises(IndexError):
+            buf[-1]
+
+    def test_negative_limbs_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer("b", start=0, limbs=-1)
+
+
+class TestAllocation:
+    def test_buffers_never_overlap(self):
+        rec = recorder()
+        a = rec.alloc("a", 4)
+        b = rec.alloc("b", 2)
+        assert set(a.blocks()).isdisjoint(b.blocks())
+        assert b.start == a.start + 4
+
+    def test_duplicate_labels_get_occurrence_suffixes(self):
+        rec = recorder()
+        rec.alloc("x", 1)
+        second = rec.alloc("x", 1)
+        third = rec.alloc("x", 1)
+        assert second.label == "x#2"
+        assert third.label == "x#3"
+        assert set(rec.finish().buffers) == {"x", "x#2", "x#3"}
+
+    def test_nonpositive_block_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(block_bytes=0)
+
+
+class TestEmission:
+    def test_read_write_scratch_flags(self):
+        rec = recorder()
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        rec.read(buf[0], allocate=False)
+        rec.write(buf[0])
+        rec.write(buf[0], resident=True)
+        rec.scratch(buf[0])
+        events = rec.finish().events
+        assert events[0] == Access(READ, CT, buf[0], False, True)
+        assert events[1] == Access(READ, CT, buf[0], False, False)
+        assert events[2] == Access(WRITE, CT, buf[0], False, True)
+        assert events[3] == Access(WRITE, CT, buf[0], True, True)
+        assert events[4].kind == SCRATCH
+
+    def test_buffer_passes_are_ascending_one_event_per_limb(self):
+        rec = recorder()
+        buf = rec.alloc("b", 3)
+        rec.read_buffer(buf)
+        rec.write_buffer(buf)
+        events = rec.finish().events
+        assert [e.block for e in events[:3]] == list(buf.blocks())
+        assert [e.kind for e in events[3:]] == [WRITE] * 3
+
+    def test_read_stream_emits_bulk_bytes(self):
+        rec = recorder()
+        rec.read_stream(KEY, 5)
+        rec.read_stream(PT, 2)
+        events = rec.finish().events
+        assert events[0] == BulkAccess(READ, KEY, 5 * BLOCK)
+        assert events[1] == BulkAccess(READ, PT, 2 * BLOCK)
+
+    def test_read_stream_validates_stream_and_skips_empty(self):
+        rec = recorder()
+        with pytest.raises(ValueError):
+            rec.read_stream("bogus", 1)
+        rec.read_stream(KEY, 0)
+        assert rec.finish().events == []
+
+    def test_pin_unpin_and_flush_round_trip(self):
+        rec = recorder()
+        buf = rec.alloc("b", 2)
+        rec.pin(buf)
+        rec.unpin(buf)
+        rec.flush(buf)
+        events = rec.finish().events
+        blocks = tuple(buf.blocks())
+        assert events[0] == PinEvent(blocks, True)
+        assert events[1] == PinEvent(blocks, False)
+        assert events[2] == FlushEvent(blocks)
+
+    def test_empty_pin_and_flush_emit_nothing(self):
+        rec = recorder()
+        empty = rec.alloc("e", 0)
+        rec.pin(empty)
+        rec.flush(empty)
+        rec.flush_blocks(())
+        rec.pin_blocks(())
+        assert rec.finish().events == []
+
+    def test_pin_blocks_accepts_non_contiguous_sets(self):
+        rec = recorder()
+        rec.pin_blocks((7, 3, 11))
+        event = rec.finish().events[0]
+        assert event == PinEvent((7, 3, 11), True)
+
+
+class TestTrace:
+    def test_logical_bytes_counts_blocks_and_bulk(self):
+        rec = recorder()
+        buf = rec.alloc("b", 2)
+        rec.read_buffer(buf)
+        rec.write(buf[0])
+        rec.read_stream(KEY, 4)
+        rec.pin(buf)  # non-traffic events contribute nothing
+        trace = rec.finish()
+        assert trace.logical_bytes() == 3 * BLOCK + 4 * BLOCK
+
+    def test_finish_is_repeatable_and_snapshots(self):
+        rec = recorder()
+        buf = rec.alloc("b", 1)
+        rec.read(buf[0])
+        first = rec.finish()
+        rec.read(buf[0])
+        second = rec.finish()
+        assert len(first.events) == 1
+        assert len(second.events) == 2
+
+    def test_generation_is_deterministic(self):
+        def build():
+            rec = recorder()
+            buf = rec.alloc("b", 3)
+            rec.read_buffer(buf)
+            rec.pin(buf)
+            rec.write_buffer(buf, resident=True)
+            rec.flush(buf)
+            return rec.finish()
+
+        assert build().events == build().events

@@ -66,3 +66,66 @@ class TestOptimizationThresholds:
         cache = CacheModel.from_mb(64)
         assert cache.fits_whole_ciphertext(small, 16)
         assert not cache.fits_whole_ciphertext(BASELINE_JUNG, 35)
+
+
+class TestByteConvention:
+    """Decimal-MB sizes vs binary-MiB limbs (see perf/cache.py docstring).
+
+    `MB = 10**6` while one baseline limb is `2**20` bytes, so the paper's
+    "1 MB ~ one limb" shorthand is off by ~4.9% — a literal 1 MB cache
+    holds zero whole limbs.  These tests pin the convention so neither
+    side drifts.
+    """
+
+    def test_mb_is_decimal(self):
+        from repro.perf.cache import MB
+
+        assert MB == 10**6
+
+    def test_baseline_limb_is_one_mebibyte(self):
+        assert BASELINE_JUNG.limb_bytes == 2**20
+
+    def test_literal_one_mb_holds_zero_limbs(self):
+        # The documented quirk: the paper's "1 MB" limb needs 1.048576
+        # decimal MB.
+        assert CacheModel.from_mb(1.0).capacity_limbs(BASELINE_JUNG) == 0
+        assert CacheModel.from_mb(1.05).capacity_limbs(BASELINE_JUNG) == 1
+
+    @pytest.mark.parametrize("megabytes", [1, 2, 6, 8, 16, 27, 32, 64, 192, 256])
+    def test_capacity_matches_threshold_arithmetic(self, megabytes):
+        """capacity_limbs and every fits_* threshold use the same units."""
+        cache = CacheModel.from_mb(megabytes)
+        limbs = cache.capacity_limbs(BASELINE_JUNG)
+        # Same floor division the simulator's capacity_blocks performs.
+        assert limbs == (megabytes * 10**6) // 2**20
+        assert cache.fits_o1(BASELINE_JUNG) == (limbs >= 1)
+        assert cache.fits_beta(BASELINE_JUNG) == (
+            limbs >= 2 * BASELINE_JUNG.dnum
+        )
+        assert cache.fits_alpha(BASELINE_JUNG) == (
+            limbs >= BASELINE_JUNG.alpha + 3
+        )
+        assert cache.fits_limb_reorder(BASELINE_JUNG) == cache.fits_alpha(
+            BASELINE_JUNG
+        )
+
+    def test_simulator_agrees_with_cache_model_capacity(self):
+        """The memsim replay and the analytical thresholds must agree on
+        what a given cache size holds (same floor division)."""
+        from repro.memsim.simulator import MemorySimulator
+
+        for megabytes in (1, 2, 8, 27, 32, 192):
+            size = megabytes * 10**6
+            assert MemorySimulator(size).capacity_blocks(
+                BASELINE_JUNG.limb_bytes
+            ) == CacheModel(size).capacity_limbs(BASELINE_JUNG)
+
+    def test_paper_quotes_are_within_five_percent_of_limb_counts(self):
+        # 6 MB ~ 2*dnum = 6 limbs, 27 MB ~ alpha+3 = 15... the quoted
+        # sizes are shorthand: assert the thresholds the quotes stand for.
+        assert CacheModel.from_mb(6.5).capacity_limbs(BASELINE_JUNG) >= (
+            2 * BASELINE_JUNG.dnum
+        )
+        assert CacheModel.from_mb(32).capacity_limbs(BASELINE_JUNG) >= (
+            BASELINE_JUNG.alpha + 3
+        )
