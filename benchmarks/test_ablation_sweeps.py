@@ -13,24 +13,31 @@ the trend the paper's analysis predicts:
 * **individual optimizations** — each MAD flag alone against the baseline,
   isolating its contribution (SimFHE's "toggle each optimization
   independently").
+
+Every grid runs through :func:`repro.sweep.run_sweep` with the
+``bootstrap.cost`` evaluator — the same declarative engine the CLI's
+``repro sweep`` command uses — so these benchmarks also exercise the
+sweep dispatch/merge path on every run.
 """
 
 import pytest
 
 from repro.params import BASELINE_JUNG, CkksParams
-from repro.perf import BootstrapModel, CacheModel, MADConfig
+from repro.perf import MADConfig
+from repro.sweep import SweepAxis, SweepSpec, build_preset, run_sweep
+
+
+def _rows(spec: SweepSpec) -> list:
+    """Evaluate a sweep in-process and return its rows in canonical order."""
+    return list(run_sweep(spec, jobs=1).values)
 
 
 @pytest.mark.repro("Ablation: cache size")
 def test_ablation_cache_size(benchmark):
+    spec = build_preset("ablation-cache")
+
     def sweep():
-        results = {}
-        for mb in (0.5, 1, 2, 6, 16, 32, 64, 256):
-            cost = BootstrapModel(
-                BASELINE_JUNG, MADConfig.caching_only(), CacheModel.from_mb(mb)
-            ).total_cost()
-            results[mb] = cost.traffic.total / 1e9
-        return results
+        return {row["cache_mb"]: row["dram_gb"] for row in _rows(spec)}
 
     results = benchmark(sweep)
     print("\nBootstrap DRAM vs cache size (caching opts, baseline params)")
@@ -46,31 +53,37 @@ def test_ablation_cache_size(benchmark):
 
 @pytest.mark.repro("Ablation: dnum")
 def test_ablation_dnum(benchmark):
+    dnums = (1, 2, 3, 4, 6)
+    spec = SweepSpec(
+        name="ablation-dnum",
+        evaluator="bootstrap.cost",
+        axes=(
+            SweepAxis(
+                "params",
+                tuple(
+                    CkksParams(
+                        log_n=17, log_q=50, max_limbs=35, dnum=dnum, fft_iter=3
+                    )
+                    for dnum in dnums
+                ),
+            ),
+        ),
+        context={"config": MADConfig.all()},
+    )
+
     def sweep():
-        results = {}
-        for dnum in (1, 2, 3, 4, 6):
-            params = CkksParams(
-                log_n=17, log_q=50, max_limbs=35, dnum=dnum, fft_iter=3
-            )
-            cost = BootstrapModel(params, MADConfig.all()).total_cost()
-            results[dnum] = {
-                "key_gb": cost.traffic.key_read / 1e9,
-                "total_gb": cost.gigabytes(),
-                "gops": cost.giga_ops(),
-                "log_qp": params.log_qp,
-            }
-        return results
+        return dict(zip(dnums, _rows(spec)))
 
     results = benchmark(sweep)
     print("\nBootstrap vs dnum (L=35, q=50, all optimizations)")
     for dnum, row in results.items():
         print(
-            f"  dnum={dnum}: keys {row['key_gb']:6.1f} GB, total "
-            f"{row['total_gb']:6.1f} GB, {row['gops']:6.1f} Gops, "
+            f"  dnum={dnum}: keys {row['key_read_gb']:6.1f} GB, total "
+            f"{row['dram_gb']:6.1f} GB, {row['giga_ops']:6.1f} Gops, "
             f"log PQ={row['log_qp']}"
         )
     # Smaller dnum -> fewer digits -> less switching-key traffic.
-    key_gb = [results[d]["key_gb"] for d in (1, 2, 3, 4, 6)]
+    key_gb = [results[d]["key_read_gb"] for d in dnums]
     assert key_gb == sorted(key_gb)
     # ...at the price of a larger raised modulus (security pressure).
     assert results[1]["log_qp"] > results[6]["log_qp"]
@@ -78,34 +91,43 @@ def test_ablation_dnum(benchmark):
 
 @pytest.mark.repro("Ablation: fftIter")
 def test_ablation_fft_iter(benchmark):
+    fft_iters = (2, 3, 4, 6, 8)
+    spec = SweepSpec(
+        name="ablation-fft-iter",
+        evaluator="bootstrap.cost",
+        axes=(
+            SweepAxis(
+                "params",
+                tuple(
+                    CkksParams(
+                        log_n=17, log_q=50, max_limbs=40, dnum=2, fft_iter=f
+                    )
+                    for f in fft_iters
+                ),
+            ),
+        ),
+        context={"config": MADConfig.all()},
+    )
+
     def sweep():
-        results = {}
-        for fft_iter in (2, 3, 4, 6, 8):
-            params = CkksParams(
-                log_n=17, log_q=50, max_limbs=40, dnum=2, fft_iter=fft_iter
-            )
-            cost = BootstrapModel(params, MADConfig.all()).total_cost()
-            results[fft_iter] = {
-                "total_gb": cost.gigabytes(),
-                "log_q1": params.log_q1,
-            }
-        return results
+        return dict(zip(fft_iters, _rows(spec)))
 
     results = benchmark(sweep)
     print("\nBootstrap vs fftIter (L=40, q=50, dnum=2, all optimizations)")
     for fft_iter, row in results.items():
         print(
-            f"  fftIter={fft_iter}: {row['total_gb']:6.1f} GB, "
+            f"  fftIter={fft_iter}: {row['dram_gb']:6.1f} GB, "
             f"log Q1 after bootstrap = {row['log_q1']}"
         )
     # More iterations leave fewer levels after bootstrapping...
-    q1 = [results[f]["log_q1"] for f in (2, 3, 4, 6, 8)]
+    q1 = [results[f]["log_q1"] for f in fft_iters]
     assert q1 == sorted(q1, reverse=True)
 
 
 @pytest.mark.repro("Ablation: individual optimizations")
 def test_ablation_individual_flags(benchmark):
     flags = (
+        "baseline",
         "cache_o1",
         "cache_beta",
         "cache_alpha",
@@ -113,16 +135,18 @@ def test_ablation_individual_flags(benchmark):
         "mod_down_hoist",
         "key_compression",
     )
+    spec = SweepSpec(
+        name="ablation-flags",
+        evaluator="bootstrap.cost",
+        axes=(SweepAxis("flag", flags),),
+        context={"params": BASELINE_JUNG, "config": MADConfig.none()},
+    )
 
     def sweep():
-        baseline = BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost()
-        results = {"baseline": (baseline.giga_ops(), baseline.gigabytes())}
-        for flag in flags:
-            cost = BootstrapModel(
-                BASELINE_JUNG, MADConfig.none().with_(**{flag: True})
-            ).total_cost()
-            results[flag] = (cost.giga_ops(), cost.gigabytes())
-        return results
+        return {
+            row["flag"]: (row["giga_ops"], row["dram_gb"])
+            for row in _rows(spec)
+        }
 
     results = benchmark(sweep)
     print("\nEach optimization alone (baseline params)")
@@ -132,7 +156,7 @@ def test_ablation_individual_flags(benchmark):
         benchmark.extra_info[name] = round(gb, 1)
     # Every flag alone must not increase traffic; caching flags must not
     # change ops.
-    for flag in flags:
+    for flag in flags[1:]:
         gops, gb = results[flag]
         assert gb <= base_gb + 1e-9
         if flag.startswith("cache"):

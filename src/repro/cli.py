@@ -11,6 +11,7 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro diff base_report.json run_report.json --json cost_diff.json
     python -m repro bench --check
     python -m repro lint --json src/repro
+    python -m repro sweep table5 --jobs 4 --out sweep_report.json
 
 Table commands accept ``--json`` for machine-readable output; ``trace``
 records a hierarchical span tree and writes it as Chrome trace-event JSON
@@ -18,7 +19,9 @@ records a hierarchical span tree and writes it as Chrome trace-event JSON
 cost delta between two run reports span by span; ``bench`` gates the
 analytical workloads against the committed baselines in
 ``benchmarks/baselines/``; ``lint`` mechanically enforces the cost-model
-and observability invariants (see :mod:`repro.lint`).
+and observability invariants (see :mod:`repro.lint`); ``sweep`` runs a
+declarative parameter sweep (see :mod:`repro.sweep`) over worker
+processes with a resumable machine-readable report.
 """
 
 from __future__ import annotations
@@ -70,7 +73,7 @@ def _cmd_table5(args) -> int:
                 fft_iter_choices=(3, 4, 6),
             )
         )
-    print(render_table5(generate_table5(candidates=candidates)))
+    print(render_table5(generate_table5(candidates=candidates, jobs=args.jobs)))
     return 0
 
 
@@ -136,8 +139,11 @@ def _cmd_fig6(args) -> int:
 
     design = PRIOR_DESIGNS[args.design]
     sizes = [float(s) for s in args.caches.split(",")]
-    generator = generate_fig6_lr if args.workload == "lr" else generate_fig6_resnet
-    for bar in generator(design, sizes):
+    if args.workload == "lr":
+        bars = generate_fig6_lr(design, sizes, jobs=args.jobs)
+    else:
+        bars = generate_fig6_resnet(design, sizes, jobs=args.jobs)
+    for bar in bars:
         print(
             f"{bar.label:30} {bar.seconds:9.3f} s ({bar.bound}-bound) "
             f"{bar.speedup_vs_original:6.2f}x"
@@ -403,6 +409,7 @@ def _cmd_memsim(args) -> int:
         tolerance=args.tolerance,
         runs=runs,
         primitives=primitives,
+        jobs=args.jobs,
     )
     validate_memsim_report(report)
     if args.out:
@@ -445,10 +452,61 @@ def _cmd_search(args) -> int:
             )
         )
     for rank, result in enumerate(
-        find_optimal_parameters(design, candidates=candidates, top=args.top),
+        find_optimal_parameters(
+            design, candidates=candidates, top=args.top, jobs=args.jobs
+        ),
         start=1,
     ):
         print(f"#{rank} {result.describe()}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweep import (
+        build_preset,
+        build_sweep_report,
+        load_sweep_report,
+        preset_names,
+        run_sweep,
+        validate_sweep_report,
+        write_sweep_report,
+    )
+
+    if args.list:
+        for name in preset_names():
+            print(name)
+        return 0
+    if not args.preset:
+        raise SystemExit(
+            f"choose a sweep preset: {', '.join(preset_names())} "
+            "(or --list to enumerate)"
+        )
+    spec = build_preset(args.preset, quick=args.quick)
+    resume = None
+    if args.resume:
+        resume = load_sweep_report(args.resume)
+        if resume is None:
+            print(f"no resumable report at {args.resume}; starting fresh")
+    outcome = run_sweep(spec, jobs=args.jobs, resume=resume)
+    report = build_sweep_report(outcome)
+    validate_sweep_report(report)
+    if args.out:
+        write_sweep_report(outcome, args.out)
+    if args.json:
+        _print_json(report)
+        return 0
+    print(
+        f"sweep {spec.name}: {outcome.evaluated} evaluated, "
+        f"{outcome.reused} reused, {outcome.chunks} chunks, "
+        f"jobs={outcome.jobs}"
+    )
+    print(
+        f"  memo hit rate {outcome.memo_hit_rate:.1%}, "
+        f"worker utilisation {outcome.worker_utilisation:.1%}, "
+        f"wall {outcome.wall_seconds:.2f}s"
+    )
+    if args.out:
+        print(f"wrote sweep report to {args.out}")
     return 0
 
 
@@ -467,6 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table5", help="memory-aware optimal parameters")
     p.add_argument("--quick", action="store_true", help="search a small grid")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="sweep worker processes"
+    )
     p.set_defaults(func=_cmd_table5)
 
     p = sub.add_parser("table6", help="bootstrapping design comparison")
@@ -489,6 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=("lr", "resnet"), default="lr")
     p.add_argument("--design", default="BTS")
     p.add_argument("--caches", default="32,256")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="sweep worker processes"
+    )
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("bootstrap", help="bootstrap cost breakdown")
@@ -642,6 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write memsim_report.json here"
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="sweep worker processes"
+    )
     p.set_defaults(func=_cmd_memsim)
 
     p = sub.add_parser(
@@ -680,7 +747,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=float, default=32)
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="sweep worker processes"
+    )
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a declarative parameter sweep over worker processes",
+    )
+    p.add_argument(
+        "preset",
+        nargs="?",
+        default=None,
+        help="sweep preset name (see --list)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 evaluates in-process",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the preset's reduced grid",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="REPORT",
+        help="reuse completed points from a prior sweep_report.json",
+    )
+    p.add_argument(
+        "--out", default=None, help="write sweep_report.json here"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--list", action="store_true", help="list sweep presets and exit"
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

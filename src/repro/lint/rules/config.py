@@ -8,10 +8,11 @@ figures would show an "optimization" that changes nothing.
 
 This is the one cross-file rule: it collects ``MADConfig``'s dataclass
 fields wherever the class is defined, collects every attribute name
-read in ``perf/`` files *other than* the defining module (whose
-``__post_init__`` validation reads don't count as model coverage), and
-at the end of the run reports each flag with no read, anchored at the
-flag's definition line.
+read in ``perf/`` and ``sweep/`` files *other than* the defining module
+(whose ``__post_init__`` validation reads don't count as model
+coverage; sweep evaluators dispatch on the same flags when building
+ablation grids, so their reads count too), and at the end of the run
+reports each flag with no read, anchored at the flag's definition line.
 """
 
 from __future__ import annotations
@@ -29,8 +30,9 @@ __all__ = ["ConfigFlagCoverage"]
 class ConfigFlagCoverage(Rule):
     name = "ConfigFlagCoverage"
     description = (
-        "every MADConfig flag must be read somewhere in perf/ outside its "
-        "defining module — dead optimization flags are reproduction bugs"
+        "every MADConfig flag must be read somewhere in perf/ or sweep/ "
+        "outside its defining module — dead optimization flags are "
+        "reproduction bugs"
     )
     node_types = (ast.ClassDef, ast.Attribute)
 
@@ -38,7 +40,7 @@ class ConfigFlagCoverage(Rule):
         #: flag name -> (path, line, col) of its definition.
         self._flags: Dict[str, Tuple[str, int, int]] = {}
         self._defining_path: Optional[str] = None
-        #: perf-file path -> attribute names read there.
+        #: perf-/sweep-file path -> attribute names read there.
         self._reads: Dict[str, Set[str]] = {}
 
     def visit(
@@ -59,7 +61,9 @@ class ConfigFlagCoverage(Rule):
                     )
             return None
         assert isinstance(node, ast.Attribute)
-        if isinstance(node.ctx, ast.Load) and ctx.in_dir("perf"):
+        if isinstance(node.ctx, ast.Load) and (
+            ctx.in_dir("perf") or ctx.in_dir("sweep")
+        ):
             self._reads.setdefault(ctx.display_path, set()).add(node.attr)
         return None
 
@@ -80,9 +84,10 @@ class ConfigFlagCoverage(Rule):
                         line=line,
                         col=col,
                         message=(
-                            f"MADConfig flag `{flag}` is never read in perf/ "
-                            "— a flag no cost formula consults makes the "
-                            "optimization ladder silently lie"
+                            f"MADConfig flag `{flag}` is never read in "
+                            "perf/ or sweep/ — a flag no cost formula "
+                            "consults makes the optimization ladder "
+                            "silently lie"
                         ),
                     )
                 )

@@ -19,9 +19,10 @@ Two clauses:
   named like a cost field (``.ops``, ``.traffic``, ``.mults``,
   ``.adds``, per-stream byte fields, ``*_bytes``/``*_ops``) mutates
   shared cost state;
-* inside ``perf/`` but outside the core: ``name += ...`` on a
-  ``*_bytes``/``*_ops``-style local keeps a shadow total the ledger
-  never sees.
+* inside ``perf/`` or ``sweep/`` but outside the core: ``name += ...``
+  on a ``*_bytes``/``*_ops``-style local keeps a shadow total the
+  ledger never sees (sweep evaluators aggregate cost reports across
+  grid points, exactly where a shadow accumulator would hide).
 """
 
 from __future__ import annotations
@@ -66,8 +67,9 @@ class LedgerDiscipline(Rule):
     name = "LedgerDiscipline"
     description = (
         "cost accounting flows through CostReport/CostLedger: no mutation of "
-        "cost fields and no raw *_bytes/*_ops accumulation outside "
-        "perf/events.py, perf/ledger.py, perf/cache.py, memsim/accounting.py"
+        "cost fields and no raw *_bytes/*_ops accumulation (perf/ and "
+        "sweep/) outside perf/events.py, perf/ledger.py, perf/cache.py, "
+        "memsim/accounting.py"
     )
     node_types = (ast.Assign, ast.AugAssign)
 
@@ -95,14 +97,15 @@ class LedgerDiscipline(Rule):
                     isinstance(node, ast.AugAssign)
                     and isinstance(leaf, ast.Name)
                     and _is_cost_identifier(leaf.id)
-                    and ctx.in_dir("perf")
+                    and (ctx.in_dir("perf") or ctx.in_dir("sweep"))
                 ):
                     findings.append(
                         self.finding(
                             ctx,
                             node,
-                            f"raw accumulation into `{leaf.id}` in perf/ — "
-                            "route op/byte totals through CostLedger/"
+                            f"raw accumulation into `{leaf.id}` in "
+                            f"{'perf' if ctx.in_dir('perf') else 'sweep'}/ "
+                            "— route op/byte totals through CostLedger/"
                             "CostReport so figures stay trustworthy",
                         )
                     )

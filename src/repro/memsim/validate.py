@@ -38,9 +38,10 @@ from repro.memsim.simulator import MemorySimulator, SimResult
 from repro.memsim.policies import POLICIES, make_policy
 from repro.obs import state as obs
 from repro.params import BASELINE_JUNG, MAD_OPTIMAL, CkksParams
-from repro.perf.cache import MB
+from repro.perf.cache import mb_to_bytes
 from repro.perf.events import MemTraffic
 from repro.perf.optimizations import CACHING_LADDER, MADConfig
+from repro.sweep.spec import SweepAxis, SweepSpec
 
 SCHEMA_ID = "repro.memsim/v1"
 
@@ -283,7 +284,7 @@ def validate_primitive(
     expectations fail — a fixed fit threshold must be promoted back to a
     plain pass).
     """
-    capacity_bytes = int(cache_mb * MB)
+    capacity_bytes = mb_to_bytes(cache_mb)
     analytical, simulated, pin_failures = _primitive_traffic(
         builder, name, capacity_bytes, policy_name
     )
@@ -325,22 +326,27 @@ def _stats_for(pin_failures: int):
 # ----------------------------------------------------------------------
 # Report assembly
 # ----------------------------------------------------------------------
-def run_validation(
+def ladder_sweep_spec(
     params_key: str = "baseline",
     policy_name: str = "pin",
     tolerance: float = DEFAULT_TOLERANCE,
     runs: Optional[Sequence[Tuple[str, MADConfig, float]]] = None,
     primitives: Optional[Sequence[str]] = None,
-) -> Dict[str, Any]:
-    """Run the differential validation matrix and assemble the report.
+) -> SweepSpec:
+    """The Fig. 2 ladder as a declarative sweep: rung × primitive.
 
-    Without ``runs``, the Fig. 2 caching ladder is validated at the
-    paper's cache sizes (:data:`LADDER_RUNS`); known fit-threshold breaks
-    from :data:`EXPECTED_FIT_BREAKS` are asserted (baseline params only —
-    other parameter sets report divergences as plain failures).
+    The ``rung`` axis carries ``(label, config, cache_mb)`` triples (the
+    ladder pairs each config with its paper capacity, so the pairs are a
+    single axis, not a cross product); the ``primitive`` axis lists the
+    validated primitives in canonical order.
     """
     params = _PARAM_SETS[params_key]
     selected = tuple(primitives) if primitives else LADDER_PRIMITIVES
+    selected = tuple(
+        name
+        for name in selected
+        if name != "bootstrap" or params.supports_bootstrapping()
+    )
     if runs is None:
         by_label = dict(CACHING_LADDER)
         runs = [
@@ -348,34 +354,64 @@ def run_validation(
             for label, cache_mb in LADDER_RUNS
         ]
     expected = EXPECTED_FIT_BREAKS if params_key == "baseline" else {}
+    rungs = tuple(
+        (label, config, float(cache_mb)) for label, config, cache_mb in runs
+    )
+    return SweepSpec(
+        name="memsim-ladder",
+        evaluator="memsim.primitive",
+        axes=(SweepAxis("rung", rungs), SweepAxis("primitive", selected)),
+        context={
+            "params_key": params_key,
+            "policy": policy_name,
+            "tolerance": tolerance,
+            "expected": dict(expected),
+        },
+    )
+
+
+def run_validation(
+    params_key: str = "baseline",
+    policy_name: str = "pin",
+    tolerance: float = DEFAULT_TOLERANCE,
+    runs: Optional[Sequence[Tuple[str, MADConfig, float]]] = None,
+    primitives: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> Dict[str, Any]:
+    """Run the differential validation matrix and assemble the report.
+
+    Without ``runs``, the Fig. 2 caching ladder is validated at the
+    paper's cache sizes (:data:`LADDER_RUNS`); known fit-threshold breaks
+    from :data:`EXPECTED_FIT_BREAKS` are asserted (baseline params only —
+    other parameter sets report divergences as plain failures).  The
+    rung × primitive matrix dispatches through :mod:`repro.sweep`;
+    ``jobs>1`` fans cells out over worker processes with bit-identical
+    report output (per-primitive obs counters are recorded only at
+    ``jobs=1``, where validation runs in-process).
+    """
+    from repro.sweep.engine import run_sweep
+
+    params = _PARAM_SETS[params_key]
+    spec = ladder_sweep_spec(params_key, policy_name, tolerance, runs, primitives)
+    rungs = spec.axes[0].values
+    selected = spec.axes[1].values
+    with obs.span("memsim:validate", params=params_key, policy=policy_name):
+        outcome = run_sweep(spec, jobs=jobs)
 
     report_runs: List[Dict[str, Any]] = []
-    with obs.span("memsim:validate", params=params_key, policy=policy_name):
-        for label, config, cache_mb in runs:
-            builder = ScheduleBuilder(params, config)
-            entries = [
-                validate_primitive(
-                    builder,
-                    name,
-                    cache_mb,
-                    policy_name,
-                    tolerance,
-                    expected.get((label, cache_mb, name)),
-                )
-                for name in selected
-                if name != "bootstrap" or params.supports_bootstrapping()
-            ]
-            report_runs.append(
-                {
-                    "label": label,
-                    "config": _config_dict(config),
-                    "cache_mb": cache_mb,
-                    "capacity_limbs": int(cache_mb * MB)
-                    // params.limb_bytes,
-                    "primitives": entries,
-                    "passed": all(e["passed"] for e in entries),
-                }
-            )
+    per_rung = len(selected)
+    for position, (label, config, cache_mb) in enumerate(rungs):
+        entries = outcome.values[position * per_rung : (position + 1) * per_rung]
+        report_runs.append(
+            {
+                "label": label,
+                "config": _config_dict(config),
+                "cache_mb": cache_mb,
+                "capacity_limbs": mb_to_bytes(cache_mb) // params.limb_bytes,
+                "primitives": entries,
+                "passed": all(e["passed"] for e in entries),
+            }
+        )
     return {
         "schema": SCHEMA_ID,
         "params": params_key,

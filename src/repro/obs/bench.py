@@ -42,7 +42,7 @@ TRAJECTORY_SCHEMA_ID = "repro.obs.bench_trajectory/v1"
 class BenchSpec:
     """One bench workload: what to run and which baseline gates it."""
 
-    workload: str  # "micro" | "bootstrap" | "helr" | "resnet"
+    workload: str  # "micro" | "bootstrap" | "helr" | "resnet" | "memsim" | "sweep"
     params: str  # parameter-set name in repro.cli._PARAM_SETS
     config: str  # MAD config name in repro.cli._CONFIGS
     cache_mb: Optional[float] = None
@@ -66,6 +66,7 @@ DEFAULT_SPECS: Tuple[BenchSpec, ...] = (
     BenchSpec("helr", "optimal", "all", cache_mb=256.0, design="BTS"),
     BenchSpec("resnet", "optimal", "all", cache_mb=256.0, design="BTS"),
     BenchSpec("memsim", "baseline", "caching", cache_mb=32.0),
+    BenchSpec("sweep", "baseline", "all"),
 )
 
 
@@ -147,6 +148,51 @@ def memsim_micro_cost(params, config, cache_mb: float = 32.0):
     return total
 
 
+def sweep_micro_cost(params, config):
+    """Traced sweep micro-workload: a small Table 5 grid through the engine.
+
+    Runs a fixed 24-candidate search grid through
+    :func:`repro.sweep.run_sweep` in-process and sums the candidates'
+    bootstrap costs, so the bench gate covers the sweep dispatch, memo
+    and merge path itself: any cost drift in the engine (a dropped or
+    double-evaluated point, a memo key collision) changes the gated
+    total.  Wall-clock stays report-only, as everywhere in the bench.
+
+    ``params`` names the design's own parameter set and is unused — the
+    grid supplies the candidates; it is part of the signature so the
+    spec's baseline key stays self-describing.
+    """
+    from repro.hardware import PRIOR_DESIGNS, mad_counterpart
+    from repro.perf.events import CostReport
+    from repro.search.space import enumerate_parameter_space
+    from repro.sweep import SweepAxis, SweepSpec, run_sweep
+
+    del params
+    candidates = tuple(
+        enumerate_parameter_space(
+            log_q_choices=(50, 54, 58),
+            max_limbs_choices=(35, 40),
+            dnum_choices=(2, 3),
+            fft_iter_choices=(3, 4),
+        )
+    )
+    spec = SweepSpec(
+        name="sweep-micro",
+        evaluator="search.candidate",
+        axes=(SweepAxis("params", candidates),),
+        context={
+            "design": mad_counterpart(PRIOR_DESIGNS["GPU [Jung et al.]"]),
+            "config": config,
+            "enforce_cache": False,
+        },
+    )
+    outcome = run_sweep(spec, jobs=1)
+    total = CostReport()
+    for result in outcome.values:
+        total = total + result.cost
+    return total
+
+
 def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
     """(zero-arg traced runner, workload display name) for a spec."""
     from repro.cli import _CONFIGS, _PARAM_SETS
@@ -158,6 +204,8 @@ def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
 
     if spec.workload == "micro":
         return lambda: primitive_micro_cost(params, config, cache), "micro"
+    if spec.workload == "sweep":
+        return lambda: sweep_micro_cost(params, config), "sweep"
     if spec.workload == "memsim":
         return (
             lambda: memsim_micro_cost(params, config, spec.cache_mb or 32.0),

@@ -38,6 +38,21 @@ from repro.params import CkksParams
 MB = 10**6
 
 
+def mb_to_bytes(megabytes: float) -> int:
+    """Decimal megabytes to whole bytes, rounding to the nearest byte.
+
+    ``int(megabytes * MB)`` truncates, and binary floats cannot represent
+    most decimal-MB values exactly — ``261.095424 * MB`` (exactly 249
+    MiB-limbs) evaluates to ``261095423.99999997``, which truncation
+    turns into a cache one byte smaller than specified.  One byte is
+    enough to flip a ``capacity_limbs`` threshold exactly at a
+    working-set boundary (a "261.095424 MB" cache should hold 249
+    MiB-limbs, not 248), so every MB → bytes conversion in the model
+    rounds instead.
+    """
+    return int(round(megabytes * MB))
+
+
 @dataclass(frozen=True)
 class CacheModel:
     """An on-chip memory of ``size_bytes`` bytes."""
@@ -50,7 +65,8 @@ class CacheModel:
 
     @classmethod
     def from_mb(cls, megabytes: float) -> "CacheModel":
-        return cls(int(megabytes * MB))
+        """A cache of ``megabytes`` decimal MB (nearest-byte rounding)."""
+        return cls(mb_to_bytes(megabytes))
 
     @property
     def megabytes(self) -> float:

@@ -129,21 +129,15 @@ def _unpacked_penalty(design: HardwareDesign) -> int:
     return max(1, design.params.slots // design.bootstrap_slots)
 
 
-def generate_fig6_series(
-    design: HardwareDesign,
-    workload_for: "callable",
-    cache_sizes_mb: Sequence[float],
-) -> List[Fig6Bar]:
-    """Original design vs design+MAD at several on-chip memory sizes.
-
-    ``workload_for`` maps a parameter set to an
-    :class:`~repro.apps.ApplicationWorkload` (the workload depends on the
-    bootstrap cadence, which depends on the parameters).
+def _original_bar(
+    design: HardwareDesign, workload_for: "callable"
+) -> Fig6Bar:
+    """The original-design bar every MAD bar's speedup is measured against.
 
     The original design runs its own parameters with whatever *caching* its
     on-chip memory naturally supports ("we carefully modeled each one of
     the original designs in SimFHE") but none of the MAD algorithmic
-    techniques; the MAD bars add every technique at the given memory size.
+    techniques.
     """
     import dataclasses
 
@@ -167,14 +161,32 @@ def generate_fig6_series(
         design.cache,
     ).total
     original_runtime = estimate_runtime(original_cost, design)
-    bars = [
-        Fig6Bar(
-            label=f"{design.name}-{design.on_chip_mb:g}",
-            seconds=original_runtime.seconds,
-            bound=original_runtime.bound,
-            speedup_vs_original=1.0,
-        )
-    ]
+    return Fig6Bar(
+        label=f"{design.name}-{design.on_chip_mb:g}",
+        seconds=original_runtime.seconds,
+        bound=original_runtime.bound,
+        speedup_vs_original=1.0,
+    )
+
+
+def generate_fig6_series(
+    design: HardwareDesign,
+    workload_for: "callable",
+    cache_sizes_mb: Sequence[float],
+) -> List[Fig6Bar]:
+    """Original design vs design+MAD at several on-chip memory sizes.
+
+    ``workload_for`` maps a parameter set to an
+    :class:`~repro.apps.ApplicationWorkload` (the workload depends on the
+    bootstrap cadence, which depends on the parameters).
+
+    This is the serial reference implementation (and the only entry point
+    accepting an arbitrary workload callable, which cannot cross a
+    process boundary); :func:`generate_fig6_grid` runs the same
+    evaluation through :mod:`repro.sweep` with bit-identical bars.
+    """
+    bars = [_original_bar(design, workload_for)]
+    original_runtime_seconds = bars[0].seconds
     for mb in cache_sizes_mb:
         mad = mad_counterpart(design, on_chip_mb=mb)
         cache = CacheModel.from_mb(mb)
@@ -187,32 +199,106 @@ def generate_fig6_series(
                 label=mad.name,
                 seconds=runtime.seconds,
                 bound=runtime.bound,
-                speedup_vs_original=original_runtime.seconds / runtime.seconds,
+                speedup_vs_original=original_runtime_seconds / runtime.seconds,
             )
         )
     return bars
+
+
+def _fig6_workload_factory(workload: str, iterations: int) -> "callable":
+    from repro.apps import helr_training, resnet20_inference
+
+    if workload == "lr":
+        return lambda params: helr_training(params, iterations=iterations)
+    if workload == "resnet":
+        return resnet20_inference
+    raise ValueError(f"unknown fig6 workload {workload!r}")
+
+
+def fig6_original_seconds(
+    workload: str,
+    designs: Optional[Sequence[HardwareDesign]] = None,
+    iterations: int = 30,
+) -> tuple:
+    """(designs, {design name: original runtime seconds}) for a workload.
+
+    Serial pre-computation for the Fig. 6 sweep: one cheap evaluation per
+    design, shipped to workers as context so every MAD bar's speedup is
+    measured against the same original bar.
+    """
+    from repro.hardware import PRIOR_DESIGNS
+
+    if designs is None:
+        designs = list(PRIOR_DESIGNS.values())
+    factory = _fig6_workload_factory(workload, iterations)
+    return list(designs), {
+        design.name: _original_bar(design, factory).seconds for design in designs
+    }
+
+
+def generate_fig6_grid(
+    workload: str,
+    designs: Optional[Sequence[HardwareDesign]] = None,
+    cache_sizes_mb: Sequence[float] = (32.0, 256.0),
+    iterations: int = 30,
+    jobs: int = 1,
+) -> Dict[str, List[Fig6Bar]]:
+    """The Fig. 6 cache-size × design grid through the sweep engine.
+
+    Returns ``{design name: [original bar, mad bar per cache size]}`` in
+    design order — per design, exactly the bars
+    :func:`generate_fig6_series` produces serially.
+    """
+    from repro.sweep import SweepAxis, SweepSpec, run_sweep
+
+    designs, original_seconds = fig6_original_seconds(
+        workload, designs, iterations
+    )
+    factory = _fig6_workload_factory(workload, iterations)
+    spec = SweepSpec(
+        name=f"fig6-{workload}",
+        evaluator="fig6.bar",
+        axes=(
+            SweepAxis("design", tuple(designs)),
+            SweepAxis("cache_mb", tuple(float(mb) for mb in cache_sizes_mb)),
+        ),
+        context={
+            "workload": workload,
+            "iterations": iterations,
+            "original_seconds": original_seconds,
+        },
+    )
+    outcome = run_sweep(spec, jobs=jobs)
+    per_design = len(spec.axes[1].values)
+    grid: Dict[str, List[Fig6Bar]] = {}
+    for position, design in enumerate(designs):
+        bars = [_original_bar(design, factory)]
+        bars.extend(
+            outcome.values[position * per_design : (position + 1) * per_design]
+        )
+        grid[design.name] = bars
+    return grid
 
 
 def generate_fig6_lr(
     design: HardwareDesign,
     cache_sizes_mb: Sequence[float],
     iterations: int = 30,
+    jobs: int = 1,
 ) -> List[Fig6Bar]:
-    from repro.apps import helr_training
-
-    return generate_fig6_series(
-        design,
-        lambda params: helr_training(params, iterations=iterations),
-        cache_sizes_mb,
+    grid = generate_fig6_grid(
+        "lr", [design], cache_sizes_mb, iterations=iterations, jobs=jobs
     )
+    return grid[design.name]
 
 
 def generate_fig6_resnet(
-    design: HardwareDesign, cache_sizes_mb: Sequence[float]
+    design: HardwareDesign,
+    cache_sizes_mb: Sequence[float],
+    jobs: int = 1,
 ) -> List[Fig6Bar]:
-    from repro.apps import resnet20_inference
-
-    return generate_fig6_series(design, resnet20_inference, cache_sizes_mb)
+    grid = generate_fig6_grid("resnet", [design], cache_sizes_mb, jobs=jobs)
+    return grid[design.name]
 
 
 # ----------------------------------------------------------------------

@@ -2,11 +2,18 @@
 
 from repro.search.throughput import bootstrap_throughput
 from repro.search.space import enumerate_parameter_space
-from repro.search.optimizer import ParameterSearchResult, find_optimal_parameters
+from repro.search.optimizer import (
+    ParameterSearchResult,
+    find_optimal_parameters,
+    params_key,
+    ranking_key,
+)
 
 __all__ = [
     "bootstrap_throughput",
     "enumerate_parameter_space",
     "ParameterSearchResult",
     "find_optimal_parameters",
+    "params_key",
+    "ranking_key",
 ]

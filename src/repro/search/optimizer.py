@@ -4,20 +4,23 @@ Given a hardware budget (multiplier count, bandwidth, on-chip memory),
 evaluate the bootstrapping cost model for every admissible parameter set
 and rank by the Han-Ki throughput metric.  This regenerates the
 "Ours" row of Table 5.
+
+Candidates are evaluated through :mod:`repro.sweep` — pass ``jobs=N`` to
+fan the grid out over worker processes.  The ranking is a **total,
+documented order** (see :func:`ranking_key`), so the result is
+bit-identical for any worker count and independent of enumeration order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.params import CkksParams
-from repro.perf import BootstrapModel, MADConfig
+from repro.perf import MADConfig
 from repro.perf.events import CostReport
 from repro.hardware.design import HardwareDesign
-from repro.hardware.runtime import RuntimeEstimate, estimate_runtime
-from repro.search.space import enumerate_parameter_space
-from repro.search.throughput import bootstrap_throughput
+from repro.hardware.runtime import RuntimeEstimate
 
 
 @dataclass(frozen=True)
@@ -36,12 +39,45 @@ class ParameterSearchResult:
         )
 
 
+def params_key(params: CkksParams) -> Tuple:
+    """Canonical total order over CKKS parameter sets.
+
+    Used as the final ranking tie-break: two distinct parameter sets can
+    share a throughput *and* a runtime (the cost model is piecewise in
+    the parameters), and without a total order their relative rank would
+    depend on enumeration order — nondeterministic under parallel merge.
+    """
+    return (
+        params.log_n,
+        params.log_q,
+        params.max_limbs,
+        params.dnum,
+        params.fft_iter,
+        params.special_bits,
+        params.eval_mod_depth,
+        params.bit_precision,
+        params.word_bytes,
+    )
+
+
+def ranking_key(result: ParameterSearchResult) -> Tuple:
+    """The documented total ranking order of search results.
+
+    1. throughput, descending (the Table 5 figure of merit);
+    2. runtime, ascending (of equal-throughput sets, prefer the faster);
+    3. :func:`params_key`, ascending (a canonical tie-break so the order
+       is total and independent of enumeration or worker count).
+    """
+    return (-result.throughput, result.runtime.seconds, params_key(result.params))
+
+
 def find_optimal_parameters(
     design: HardwareDesign,
     config: MADConfig = MADConfig.all(),
     candidates: Optional[Iterable[CkksParams]] = None,
     enforce_cache: bool = False,
     top: int = 10,
+    jobs: int = 1,
 ) -> List[ParameterSearchResult]:
     """Rank parameter sets by bootstrapping throughput on ``design``.
 
@@ -49,33 +85,36 @@ def find_optimal_parameters(
         design: the hardware budget (multipliers, bandwidth, on-chip MB).
         config: MAD optimizations to assume.
         candidates: parameter sets to evaluate; defaults to the full
-            admissible space for the design's ring degree.
+            admissible space for the design's ring degree.  Any iterable
+            is accepted and materialised up front, so generators are safe
+            even when the caller also consumes them elsewhere.
         enforce_cache: gate caching optimizations on the design's actual
             on-chip capacity (the paper assumes 32 MB suffices for its
             optimal set; pass True for strictly-capacity-checked results).
         top: how many results to return, best first.
+        jobs: worker processes for the sweep; ``1`` evaluates in-process.
     """
+    from repro.search.space import enumerate_parameter_space
+    from repro.sweep import SweepAxis, SweepSpec, run_sweep
+
     if candidates is None:
         candidates = enumerate_parameter_space(log_n=design.params.log_n)
-    cache = design.cache if enforce_cache else None
-    results = []
-    for params in candidates:
-        model = BootstrapModel(params, config, cache)
-        cost = model.total_cost()
-        runtime = estimate_runtime(cost, design)
-        throughput = bootstrap_throughput(
-            params.slots,
-            params.log_q1,
-            params.bit_precision,
-            runtime.seconds,
-        )
-        results.append(
-            ParameterSearchResult(
-                params=params,
-                cost=cost,
-                runtime=runtime,
-                throughput=throughput,
-            )
-        )
-    results.sort(key=lambda r: r.throughput, reverse=True)
+    # Materialise exactly once: a generator consumed here must not be
+    # silently exhausted (or half-exhausted) for the caller — and the
+    # sweep axes need a concrete, canonically ordered tuple anyway.
+    candidate_tuple = tuple(candidates)
+    if not candidate_tuple:
+        return []
+    spec = SweepSpec(
+        name="table5-search",
+        evaluator="search.candidate",
+        axes=(SweepAxis("params", candidate_tuple),),
+        context={
+            "design": design,
+            "config": config,
+            "enforce_cache": enforce_cache,
+        },
+    )
+    outcome = run_sweep(spec, jobs=jobs)
+    results = sorted(outcome.values, key=ranking_key)
     return results[:top]

@@ -1,0 +1,252 @@
+"""The sweep engine: deterministic fan-out, memoized evaluation, merge.
+
+``run_sweep`` evaluates every point of a :class:`~repro.sweep.spec
+.SweepSpec` and returns the results in **canonical axis order** — the
+order a serial nested ``for`` loop over the axes would produce —
+regardless of how many workers evaluated them or in which order chunks
+completed.  Three execution properties make parallel output bit-identical
+to serial:
+
+* every evaluator is a pure function of ``(point, context)``;
+* chunks carry their canonical indices, and results are merged by index,
+  never by completion order;
+* memoization (:mod:`repro.sweep.memo`) only short-circuits repeated
+  *pure* sub-evaluations, so cache layout cannot change values.
+
+``jobs=1`` runs in-process (no executor, one shared memo) — the
+debuggable reference path; ``jobs>1`` fans chunks out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` whose workers keep a
+process-global memo across chunks.  Dispatch is observable: the run is
+wrapped in a ``sweep:run`` span and the engine publishes chunk/point
+counts, memo hit rate and worker utilisation through
+:mod:`repro.obs.state`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import state as obs
+from repro.sweep.memo import Memo
+from repro.sweep.registry import get_evaluator
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["SweepError", "SweepOutcome", "run_sweep"]
+
+
+class SweepError(RuntimeError):
+    """A sweep failed: evaluator error or resume mismatch."""
+
+
+#: One dispatched chunk: ``(canonical_index, point)`` pairs.
+Chunk = List[Tuple[int, Mapping[str, Any]]]
+
+#: Worker return: results per index, memo hit/miss deltas, busy seconds.
+ChunkResult = Tuple[List[Tuple[int, Any]], int, int, float]
+
+#: Per-process memo reused across all chunks a pool worker executes.
+_WORKER_MEMO = Memo()
+
+
+def _evaluate_chunk(
+    evaluator_name: str,
+    context: Mapping[str, Any],
+    chunk: Chunk,
+    memo: Memo,
+) -> ChunkResult:
+    """Evaluate one chunk against ``memo``; shared by both execution paths."""
+    evaluator = get_evaluator(evaluator_name)
+    hits0, misses0 = memo.stats()
+    started = time.perf_counter()
+    results: List[Tuple[int, Any]] = []
+    for index, point in chunk:
+        results.append((index, evaluator.fn(point, context, memo)))
+    busy = time.perf_counter() - started
+    hits1, misses1 = memo.stats()
+    return results, hits1 - hits0, misses1 - misses0, busy
+
+
+def _pool_chunk(
+    evaluator_name: str, context: Mapping[str, Any], chunk: Chunk
+) -> ChunkResult:
+    """Top-level (picklable) worker entry point using the process memo."""
+    return _evaluate_chunk(evaluator_name, context, chunk, _WORKER_MEMO)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep run produced, in canonical order.
+
+    ``values[i]`` is the evaluator's (rich, picklable) result for
+    canonical point ``i`` — except for points reused from a resumed
+    report, whose values are the stored JSON rows (resume is a
+    report-level contract; rich objects are not reconstructed).
+    ``rows[i]`` is always the JSON-able report row.
+    """
+
+    spec: SweepSpec
+    jobs: int
+    values: List[Any]
+    rows: List[Dict[str, Any]]
+    reused: int = 0
+    chunks: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    point_keys: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def evaluated(self) -> int:
+        return self.spec.size - self.reused
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Fraction of worker-seconds spent evaluating (vs idle/dispatch)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.jobs * self.wall_seconds))
+
+
+def _resume_rows(
+    spec: SweepSpec, resume: Optional[Mapping[str, Any]]
+) -> Dict[int, Dict[str, Any]]:
+    """Rows reusable from a prior report, keyed by canonical index."""
+    if resume is None:
+        return {}
+    from repro.sweep.report import validate_sweep_report
+
+    validate_sweep_report(resume)
+    if resume["fingerprint"] != spec.fingerprint():
+        raise SweepError(
+            f"resume fingerprint mismatch: report {resume['fingerprint'][:12]}… "
+            f"was produced by a different spec than {spec.name!r} "
+            f"({spec.fingerprint()[:12]}…)"
+        )
+    completed: Dict[int, Dict[str, Any]] = {}
+    for entry in resume["points"]:
+        index = entry["index"]
+        if 0 <= index < spec.size:
+            completed[index] = entry["row"]
+    return completed
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    resume: Optional[Mapping[str, Any]] = None,
+) -> SweepOutcome:
+    """Evaluate every point of ``spec``; results in canonical order.
+
+    Args:
+        spec: the sweep to run.
+        jobs: worker processes; ``1`` evaluates in-process (no pool).
+        resume: a prior ``repro.sweep/v1`` report dict whose completed
+            points are reused (fingerprints must match); only pending
+            points are evaluated.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    evaluator = get_evaluator(spec.evaluator)
+    points = dict(spec.points())
+    completed = _resume_rows(spec, resume)
+    pending = [index for index in range(spec.size) if index not in completed]
+    chunks = spec.chunks(pending, jobs)
+
+    outcome = SweepOutcome(
+        spec=spec,
+        jobs=jobs,
+        values=[None] * spec.size,
+        rows=[{} for _ in range(spec.size)],
+        reused=len(completed),
+        chunks=len(chunks),
+    )
+    for index, row in completed.items():
+        outcome.values[index] = row
+        outcome.rows[index] = dict(row)
+
+    started = time.perf_counter()
+    with obs.span(
+        "sweep:run",
+        sweep=spec.name,
+        evaluator=spec.evaluator,
+        points=spec.size,
+        jobs=jobs,
+    ):
+        obs.count("sweep.points", spec.size)
+        obs.count("sweep.points.reused", len(completed))
+        obs.count("sweep.chunks.scheduled", len(chunks))
+        if jobs == 1 or not pending:
+            memo = Memo()
+            for chunk_indices in chunks:
+                chunk = [(i, points[i]) for i in chunk_indices]
+                results, hits, misses, busy = _evaluate_chunk(
+                    spec.evaluator, spec.context, chunk, memo
+                )
+                _merge(outcome, evaluator.row, points, results, hits, misses, busy)
+        else:
+            from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+            workers = min(jobs, max(1, len(chunks)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _pool_chunk,
+                        spec.evaluator,
+                        spec.context,
+                        [(i, points[i]) for i in chunk_indices],
+                    ): chunk_indices
+                    for chunk_indices in chunks
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        try:
+                            results, hits, misses, busy = future.result()
+                        except Exception as error:
+                            indices = futures[future]
+                            for other in remaining:
+                                other.cancel()
+                            raise SweepError(
+                                f"sweep {spec.name!r} chunk covering canonical "
+                                f"indices {indices[0]}..{indices[-1]} failed: "
+                                f"{error}"
+                            ) from error
+                        _merge(
+                            outcome, evaluator.row, points, results, hits, misses, busy
+                        )
+    outcome.wall_seconds = time.perf_counter() - started
+    outcome.point_keys = [spec.point_key(points[i]) for i in range(spec.size)]
+    obs.count("sweep.memo.hits", outcome.memo_hits)
+    obs.count("sweep.memo.misses", outcome.memo_misses)
+    obs.gauge("sweep.jobs", float(jobs))
+    obs.gauge("sweep.worker_utilisation", outcome.worker_utilisation)
+    obs.gauge("sweep.memo_hit_rate", outcome.memo_hit_rate)
+    return outcome
+
+
+def _merge(
+    outcome: SweepOutcome,
+    row_fn: Any,
+    points: Mapping[int, Mapping[str, Any]],
+    results: Sequence[Tuple[int, Any]],
+    hits: int,
+    misses: int,
+    busy: float,
+) -> None:
+    """Fold one chunk's results into the canonical slots."""
+    for index, value in results:
+        outcome.values[index] = value
+        outcome.rows[index] = row_fn(value, points[index])
+    outcome.memo_hits += hits
+    outcome.memo_misses += misses
+    outcome.busy_seconds += busy
+    obs.count("sweep.chunks.completed")

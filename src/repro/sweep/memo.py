@@ -1,0 +1,44 @@
+"""Per-worker memoization of cost-model evaluations.
+
+The sweep grids repeat expensive sub-evaluations across points — the same
+``(CkksParams, MADConfig, cache_bytes)`` bootstrap cost shows up under
+several hardware designs, and every memsim rung rebuilds the same
+schedule generator.  A :class:`Memo` is a plain dict with hit/miss
+counters; the engine keeps one per worker *process* (module-global, so it
+survives across chunks dispatched to the same worker) and one for the
+whole run when executing in-process at ``jobs=1``.  Because every
+evaluation is a pure function of its key, memoization can never change
+sweep output — only how often the model is re-evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["Memo"]
+
+
+class Memo:
+    """Keyed cache of pure evaluations with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = self._store[key] = compute()
+            return value
+        self.hits += 1
+        return value
+
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` so far."""
+        return self.hits, self.misses

@@ -1,0 +1,240 @@
+"""``sweep_report.json`` — schema ``repro.sweep/v1`` — and its validator.
+
+One report captures a whole sweep run: the spec identity (name,
+evaluator, axes as canonical value keys, fingerprint), dispatch
+statistics (jobs, chunks, memo hit rate, worker utilisation, wall
+seconds — all report-only, never gated) and one entry per canonical
+point holding its JSON row.  The fingerprint makes reports *resumable*:
+``run_sweep(spec, resume=report)`` reuses every completed point of a
+report whose fingerprint matches the spec and evaluates only the rest.
+
+Wall-clock fields are machine noise and must never be compared across
+machines; the analytical rows are exact and bit-identical for any
+``--jobs``.  :func:`validate_sweep_report` performs the structural
+checks without the ``jsonschema`` dependency, mirroring
+:mod:`repro.obs.export` and :mod:`repro.memsim.validate`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.sweep.engine import SweepOutcome
+
+__all__ = [
+    "SCHEMA_ID",
+    "SWEEP_REPORT_SCHEMA",
+    "build_sweep_report",
+    "load_sweep_report",
+    "validate_sweep_report",
+    "write_sweep_report",
+]
+
+SCHEMA_ID = "repro.sweep/v1"
+
+#: JSON-Schema (draft-07); CI validates with ``jsonschema`` where
+#: available and :func:`validate_sweep_report` mirrors it without the
+#: dependency.
+SWEEP_REPORT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": SCHEMA_ID,
+    "title": "repro.sweep run report",
+    "type": "object",
+    "required": [
+        "schema",
+        "sweep",
+        "evaluator",
+        "fingerprint",
+        "axes",
+        "jobs",
+        "chunks",
+        "reused",
+        "memo",
+        "wall_seconds",
+        "worker_utilisation",
+        "complete",
+        "points",
+    ],
+    "properties": {
+        "schema": {"const": SCHEMA_ID},
+        "sweep": {"type": "string"},
+        "evaluator": {"type": "string"},
+        "fingerprint": {"type": "string", "pattern": "^[0-9a-f]{64}$"},
+        "axes": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "values"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "values": {"type": "array"},
+                },
+            },
+        },
+        "jobs": {"type": "integer", "minimum": 1},
+        "chunks": {"type": "integer", "minimum": 0},
+        "reused": {"type": "integer", "minimum": 0},
+        "memo": {
+            "type": "object",
+            "required": ["hits", "misses"],
+            "properties": {
+                "hits": {"type": "integer", "minimum": 0},
+                "misses": {"type": "integer", "minimum": 0},
+            },
+        },
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "worker_utilisation": {"type": "number", "minimum": 0, "maximum": 1},
+        "complete": {"type": "boolean"},
+        "points": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["index", "key", "row"],
+                "properties": {
+                    "index": {"type": "integer", "minimum": 0},
+                    "key": {"type": "object"},
+                    "row": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def build_sweep_report(outcome: SweepOutcome) -> Dict[str, Any]:
+    """Assemble the ``repro.sweep/v1`` report for a finished run."""
+    spec = outcome.spec
+    identity = spec.identity()
+    report = {
+        "schema": SCHEMA_ID,
+        "sweep": spec.name,
+        "evaluator": spec.evaluator,
+        "fingerprint": spec.fingerprint(),
+        "axes": identity["axes"],
+        "jobs": outcome.jobs,
+        "chunks": outcome.chunks,
+        "reused": outcome.reused,
+        "memo": {"hits": outcome.memo_hits, "misses": outcome.memo_misses},
+        "wall_seconds": outcome.wall_seconds,
+        "worker_utilisation": outcome.worker_utilisation,
+        "complete": True,
+        "points": [
+            {
+                "index": index,
+                "key": outcome.point_keys[index],
+                "row": outcome.rows[index],
+            }
+            for index in range(spec.size)
+        ],
+    }
+    validate_sweep_report(report)
+    return report
+
+
+def write_sweep_report(outcome: SweepOutcome, path: str) -> Dict[str, Any]:
+    """Build, validate and write the report; returns the report dict."""
+    report = build_sweep_report(outcome)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def load_sweep_report(path: str) -> Optional[Dict[str, Any]]:
+    """Load and validate a report; ``None`` when the file does not exist."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        return None
+    validate_sweep_report(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Dependency-free structural validation (mirrors SWEEP_REPORT_SCHEMA)
+# ----------------------------------------------------------------------
+def validate_sweep_report(report: Any) -> None:
+    """Structural validation; raises ValueError on the first mismatch."""
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid sweep report: {message}")
+
+    def require_int(value: Any, label: str, minimum: int = 0) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+            fail(f"{label} is not an integer >= {minimum}")
+
+    def require_number(value: Any, label: str) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            fail(f"{label} is not a non-negative number")
+
+    if not isinstance(report, dict):
+        fail("top level is not an object")
+    if report.get("schema") != SCHEMA_ID:
+        fail(f"schema id {report.get('schema')!r} != {SCHEMA_ID!r}")
+    for key in (
+        "sweep",
+        "evaluator",
+        "fingerprint",
+        "axes",
+        "jobs",
+        "chunks",
+        "reused",
+        "memo",
+        "wall_seconds",
+        "worker_utilisation",
+        "complete",
+        "points",
+    ):
+        if key not in report:
+            fail(f"missing required key {key!r}")
+    for key in ("sweep", "evaluator", "fingerprint"):
+        if not isinstance(report[key], str):
+            fail(f"{key} is not a string")
+    fingerprint = report["fingerprint"]
+    if len(fingerprint) != 64 or any(c not in "0123456789abcdef" for c in fingerprint):
+        fail("fingerprint is not a 64-hex-digit SHA-256")
+    if not isinstance(report["axes"], list):
+        fail("axes is not an array")
+    for index, axis in enumerate(report["axes"]):
+        where = f"axes[{index}]"
+        if not isinstance(axis, dict):
+            fail(f"{where} is not an object")
+        if not isinstance(axis.get("name"), str):
+            fail(f"{where}.name is not a string")
+        if not isinstance(axis.get("values"), list):
+            fail(f"{where}.values is not an array")
+    require_int(report["jobs"], "jobs", minimum=1)
+    require_int(report["chunks"], "chunks")
+    require_int(report["reused"], "reused")
+    memo = report["memo"]
+    if not isinstance(memo, dict):
+        fail("memo is not an object")
+    require_int(memo.get("hits"), "memo.hits")
+    require_int(memo.get("misses"), "memo.misses")
+    require_number(report["wall_seconds"], "wall_seconds")
+    require_number(report["worker_utilisation"], "worker_utilisation")
+    if report["worker_utilisation"] > 1:
+        fail("worker_utilisation exceeds 1")
+    if not isinstance(report["complete"], bool):
+        fail("complete is not a boolean")
+    points = report["points"]
+    if not isinstance(points, list):
+        fail("points is not an array")
+    seen: set = set()
+    for position, entry in enumerate(points):
+        where = f"points[{position}]"
+        if not isinstance(entry, dict):
+            fail(f"{where} is not an object")
+        for key in ("index", "key", "row"):
+            if key not in entry:
+                fail(f"{where} missing {key!r}")
+        require_int(entry["index"], f"{where}.index")
+        if entry["index"] in seen:
+            fail(f"{where}.index {entry['index']} is duplicated")
+        seen.add(entry["index"])
+        if not isinstance(entry["key"], dict):
+            fail(f"{where}.key is not an object")
+        if not isinstance(entry["row"], dict):
+            fail(f"{where}.row is not an object")

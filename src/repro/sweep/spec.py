@@ -1,0 +1,160 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the *axes* of a design-space sweep (CKKS
+parameter sets, cache sizes, :class:`~repro.perf.optimizations.MADConfig`
+rungs, hardware designs — any picklable values), the registered evaluator
+that scores one grid point, and a fixed *context* shared by every point.
+
+The determinism contract lives here:
+
+* **Canonical order.**  Points are the cartesian product of the axes in
+  declaration order, last axis fastest — exactly the nesting a serial
+  ``for`` loop over the same axes would produce.  Every point carries its
+  canonical index, and the engine merges parallel results back into this
+  order, so sweep output is bit-identical for any ``--jobs``.
+* **Stable identity.**  :func:`value_key` maps an axis value to a
+  JSON-able canonical form (dataclasses become ``[type, {field: key}]``),
+  and :meth:`SweepSpec.fingerprint` hashes the whole spec identity —
+  name, evaluator, axes, context.  Resume refuses to mix reports from
+  different fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+__all__ = ["SweepAxis", "SweepSpec", "value_key"]
+
+
+def value_key(value: Any) -> Any:
+    """Canonical JSON-able identity of an axis or context value.
+
+    Primitives pass through; dataclass instances (CkksParams, MADConfig,
+    HardwareDesign, ...) become ``[ClassName, {field: value_key(...)}]``;
+    sequences and mappings recurse.  Two values compare equal under this
+    key iff the sweep treats them as the same grid coordinate.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__name__,
+            {f.name: value_key(getattr(value, f.name)) for f in fields(value)},
+        ]
+    if isinstance(value, (tuple, list)):
+        return [value_key(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): value_key(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    raise TypeError(
+        f"axis/context value of type {type(value).__name__} has no "
+        f"canonical key; use primitives, dataclasses, tuples or mappings"
+    )
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named dimension of the grid, values in canonical order."""
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if not isinstance(self.values, tuple):
+            # Accept any sequence but store the canonical immutable form.
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: axes × evaluator (+ fixed context).
+
+    Args:
+        name: display/report name of the sweep.
+        evaluator: key of a registered evaluator
+            (see :mod:`repro.sweep.registry`).
+        axes: grid dimensions, outermost first.
+        context: fixed picklable kwargs every evaluation receives.
+        chunk_size: points per dispatched chunk; ``None`` lets the engine
+            pick a deterministic size from the grid and worker count.
+    """
+
+    name: str
+    evaluator: str
+    axes: Tuple[SweepAxis, ...]
+    context: Mapping[str, Any] = field(default_factory=dict)
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.axes, tuple):
+            object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names: {names}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        return math.prod(len(axis.values) for axis in self.axes)
+
+    def points(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Yield ``(canonical_index, {axis: value})`` in canonical order."""
+        names = [axis.name for axis in self.axes]
+        for index, combo in enumerate(
+            itertools.product(*(axis.values for axis in self.axes))
+        ):
+            yield index, dict(zip(names, combo))
+
+    def point_key(self, point: Mapping[str, Any]) -> Dict[str, Any]:
+        """The JSON-able identity of one point, axis by axis."""
+        return {axis.name: value_key(point[axis.name]) for axis in self.axes}
+
+    # ------------------------------------------------------------------
+    def identity(self) -> Dict[str, Any]:
+        """The JSON-able spec identity the fingerprint is computed over."""
+        return {
+            "name": self.name,
+            "evaluator": self.evaluator,
+            "axes": [
+                {"name": axis.name, "values": [value_key(v) for v in axis.values]}
+                for axis in self.axes
+            ],
+            "context": value_key(dict(self.context)),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical spec identity (used by resume)."""
+        blob = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def resolved_chunk_size(self, jobs: int) -> int:
+        """Deterministic chunk size for a worker count.
+
+        Aim for several chunks per worker (dynamic load balance) while
+        capping per-chunk dispatch payloads; chunking never affects the
+        merged output, only scheduling granularity.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if jobs <= 1:
+            return max(1, min(64, math.ceil(self.size / 4)))
+        return max(1, min(64, math.ceil(self.size / (8 * jobs))))
+
+    def chunks(self, indices: List[int], jobs: int) -> List[List[int]]:
+        """Split ``indices`` (canonical order) into dispatch chunks."""
+        size = self.resolved_chunk_size(jobs)
+        return [indices[i : i + size] for i in range(0, len(indices), size)]

@@ -89,7 +89,7 @@ class TestLedgerDiscipline:
         assert result.clean
 
     def test_plain_counter_accumulation_outside_perf_is_clean(self, lint_tree):
-        # Raw-name accumulation only matters inside perf/ model code.
+        # Raw-name accumulation only matters inside perf/ and sweep/ code.
         result = lint_tree(
             {
                 "report/tables.py": """
@@ -103,6 +103,25 @@ class TestLedgerDiscipline:
             rules=["LedgerDiscipline"],
         )
         assert result.clean
+
+    def test_raw_byte_accumulation_in_sweep_flagged(self, lint_tree):
+        # PR 5 extends the perf/ clause to sweep/: evaluators aggregate
+        # cost reports across grid points, exactly where a shadow
+        # accumulator would hide.
+        result = lint_tree(
+            {
+                "sweep/evaluators.py": """
+                def total(rows):
+                    traffic_bytes = 0
+                    for row in rows:
+                        traffic_bytes += row["traffic_total"]
+                    return traffic_bytes
+                """
+            },
+            rules=["LedgerDiscipline"],
+        )
+        assert rules_of(result) == [("LedgerDiscipline", 5)]
+        assert "sweep/" in result.findings[0].message
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +415,21 @@ class TestConfigFlagCoverage:
             rules=["ConfigFlagCoverage"],
         )
         assert len(result.findings) == 2
+
+    def test_reads_in_sweep_count_as_coverage(self, lint_tree):
+        # PR 5 extends the read scope to sweep/: ablation evaluators
+        # dispatch on the same flags the cost formulas consume.
+        result = lint_tree(
+            {
+                "perf/optimizations.py": _CONFIG,
+                "sweep/evaluators.py": """
+                def evaluate(point, config):
+                    return (config.cache_o1, config.mod_down_merge)
+                """,
+            },
+            rules=["ConfigFlagCoverage"],
+        )
+        assert result.clean
 
     def test_no_madconfig_definition_is_clean(self, lint_tree):
         result = lint_tree(

@@ -120,6 +120,35 @@ class TestByteConvention:
                 BASELINE_JUNG.limb_bytes
             ) == CacheModel(size).capacity_limbs(BASELINE_JUNG)
 
+    def test_from_mb_rounds_instead_of_truncating(self):
+        """The float-truncation bug: ``261.095424 * 10**6`` (exactly 249
+        MiB-limbs) evaluates to 261095423.99999997, so ``int()`` lands
+        one byte short and flips capacity_limbs from 249 to 248 exactly
+        at a working-set boundary.  ``from_mb`` must round."""
+        from repro.perf.cache import mb_to_bytes
+
+        assert int(261.095424 * 10**6) == 261095423  # the bug, pinned
+        assert mb_to_bytes(261.095424) == 261095424
+        assert CacheModel.from_mb(261.095424).size_bytes == 249 * 2**20
+        assert CacheModel.from_mb(261.095424).capacity_limbs(BASELINE_JUNG) == 249
+
+    @pytest.mark.parametrize("limbs", [1, 6, 15, 24, 25, 30, 249, 251, 489])
+    def test_exact_limb_budgets_survive_mb_round_trip(self, limbs):
+        """A cache sized as exactly N limbs (expressed as its shortest
+        decimal-MB literal) must hold exactly N limbs — no off-by-one
+        from float noise.  249/251/489 are the budgets whose literals
+        truncate one byte short without rounding."""
+        megabytes = round(limbs * 2**20 / 10**6, 6)
+        cache = CacheModel.from_mb(megabytes)
+        assert cache.size_bytes == limbs * 2**20
+        assert cache.capacity_limbs(BASELINE_JUNG) == limbs
+
+    def test_mb_to_bytes_whole_values(self):
+        from repro.perf.cache import mb_to_bytes
+
+        assert mb_to_bytes(32) == 32_000_000
+        assert mb_to_bytes(0.5) == 500_000
+
     def test_paper_quotes_are_within_five_percent_of_limb_counts(self):
         # 6 MB ~ 2*dnum = 6 limbs, 27 MB ~ alpha+3 = 15... the quoted
         # sizes are shorthand: assert the thresholds the quotes stand for.

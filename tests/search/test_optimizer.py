@@ -3,7 +3,7 @@ import pytest
 from repro.params import BASELINE_JUNG, MAD_OPTIMAL
 from repro.perf import MADConfig
 from repro.hardware import GPU_JUNG, mad_counterpart
-from repro.search import find_optimal_parameters
+from repro.search import find_optimal_parameters, params_key, ranking_key
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +70,104 @@ class TestOptimizer:
         for result in gpu_results:
             assert result.runtime.seconds > 0
             assert result.cost.ops.total > 0
+
+
+class TestRankingDeterminism:
+    """The bugfix: ranking used throughput alone, so equal-throughput
+    candidates ranked in enumeration order — nondeterministic under a
+    parallel merge.  ranking_key is a documented total order."""
+
+    def _candidates(self):
+        from repro.search import enumerate_parameter_space
+
+        return list(
+            enumerate_parameter_space(
+                log_q_choices=(50, 54),
+                max_limbs_choices=(35, 40),
+                dnum_choices=(2, 3),
+                fft_iter_choices=(3, 6),
+            )
+        )
+
+    def test_params_key_is_a_total_order(self):
+        candidates = self._candidates()
+        keys = [params_key(p) for p in candidates]
+        assert len(set(keys)) == len(keys)
+
+    def test_ranking_is_invariant_under_enumeration_order(self):
+        candidates = self._candidates()
+        forward = find_optimal_parameters(
+            mad_counterpart(GPU_JUNG), candidates=candidates, top=len(candidates)
+        )
+        backward = find_optimal_parameters(
+            mad_counterpart(GPU_JUNG),
+            candidates=list(reversed(candidates)),
+            top=len(candidates),
+        )
+        assert forward == backward
+
+    def test_tie_break_orders_equal_throughput_runtime(self):
+        """Synthetic exact ties must fall back to the canonical params key."""
+        import dataclasses
+
+        design = mad_counterpart(GPU_JUNG)
+        base = find_optimal_parameters(
+            design, candidates=[BASELINE_JUNG], top=1
+        )[0]
+        clone_params = dataclasses.replace(BASELINE_JUNG, fft_iter=4)
+        clone = dataclasses.replace(base, params=clone_params)
+        assert ranking_key(clone) != ranking_key(base)
+        ordered = sorted([clone, base], key=ranking_key)
+        assert ordered == sorted([base, clone], key=ranking_key)
+        assert ordered[0].params.fft_iter < ordered[1].params.fft_iter
+
+    def test_jobs_do_not_change_ranking(self):
+        """Acceptance: --jobs 1 and --jobs N produce bit-identical rank."""
+        candidates = self._candidates()
+        serial = find_optimal_parameters(
+            mad_counterpart(GPU_JUNG), candidates=candidates, top=len(candidates)
+        )
+        parallel = find_optimal_parameters(
+            mad_counterpart(GPU_JUNG),
+            candidates=candidates,
+            top=len(candidates),
+            jobs=2,
+        )
+        assert serial == parallel
+
+
+class TestCandidateMaterialisation:
+    """The bugfix: a generator passed as ``candidates`` was silently
+    exhausted by the first pass; it must be materialised exactly once."""
+
+    def test_generator_candidates_fully_evaluated(self):
+        from repro.search import enumerate_parameter_space
+
+        as_list = list(
+            enumerate_parameter_space(
+                log_q_choices=(50,),
+                max_limbs_choices=(35, 40),
+                dnum_choices=(2, 3),
+                fft_iter_choices=(3, 6),
+            )
+        )
+        as_generator = enumerate_parameter_space(
+            log_q_choices=(50,),
+            max_limbs_choices=(35, 40),
+            dnum_choices=(2, 3),
+            fft_iter_choices=(3, 6),
+        )
+        design = mad_counterpart(GPU_JUNG)
+        from_generator = find_optimal_parameters(
+            design, candidates=as_generator, top=len(as_list)
+        )
+        from_list = find_optimal_parameters(
+            design, candidates=as_list, top=len(as_list)
+        )
+        assert len(from_generator) == len(as_list)
+        assert from_generator == from_list
+
+    def test_empty_candidates_return_empty(self):
+        assert find_optimal_parameters(
+            mad_counterpart(GPU_JUNG), candidates=iter(())
+        ) == []

@@ -1,3 +1,6 @@
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.params import BASELINE_JUNG, MAD_OPTIMAL
 from repro.search import enumerate_parameter_space
 
@@ -65,3 +68,72 @@ class TestParameterSpace:
         """Security pruning keeps brute force tractable (paper: minutes)."""
         count = sum(1 for _ in enumerate_parameter_space())
         assert 0 < count < 10_000
+
+
+#: Random sub-grids of the real enumeration ranges.
+_GRIDS = st.fixed_dictionaries(
+    {
+        "log_q_choices": st.lists(
+            st.sampled_from(range(40, 61, 2)), min_size=1, max_size=3, unique=True
+        ),
+        "max_limbs_choices": st.lists(
+            st.sampled_from(range(24, 46)), min_size=1, max_size=3, unique=True
+        ),
+        "dnum_choices": st.lists(
+            st.sampled_from((1, 2, 3, 4, 5, 6)), min_size=1, max_size=3, unique=True
+        ),
+        "fft_iter_choices": st.lists(
+            st.sampled_from((2, 3, 4, 6, 8)), min_size=1, max_size=3, unique=True
+        ),
+        "min_log_q1": st.sampled_from((0, 200, 400)),
+        "require_security": st.booleans(),
+    }
+)
+
+
+class TestSpaceProperties:
+    """Property-based guarantees the sweep engine's determinism contract
+    leans on: the candidate axis must be deterministic and duplicate-free,
+    and every yielded set must satisfy the admissibility constraints."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid=_GRIDS)
+    def test_enumeration_deterministic_and_duplicate_free(self, grid):
+        first = list(enumerate_parameter_space(**grid))
+        second = list(enumerate_parameter_space(**grid))
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid=_GRIDS)
+    def test_every_candidate_satisfies_the_constraints(self, grid):
+        for params in enumerate_parameter_space(**grid):
+            assert params.log_q in grid["log_q_choices"]
+            assert params.max_limbs in grid["max_limbs_choices"]
+            assert params.dnum in grid["dnum_choices"]
+            assert params.fft_iter in grid["fft_iter_choices"]
+            assert params.dnum <= params.max_limbs + 1
+            assert params.supports_bootstrapping()
+            assert params.log_q1 >= grid["min_log_q1"]
+            if grid["require_security"]:
+                assert params.is_128_bit_secure()
+
+    @settings(max_examples=20, deadline=None)
+    @given(grid=_GRIDS)
+    def test_candidates_follow_grid_nesting_order(self, grid):
+        """Yield order is the declared nesting (log_q, L, dnum, fftIter) —
+        the canonical order the sweep's ranking tie-break relies on."""
+        order = {
+            (p.log_q, p.max_limbs, p.dnum, p.fft_iter): i
+            for i, p in enumerate(enumerate_parameter_space(**grid))
+        }
+        expected = sorted(
+            order,
+            key=lambda key: (
+                grid["log_q_choices"].index(key[0]),
+                grid["max_limbs_choices"].index(key[1]),
+                grid["dnum_choices"].index(key[2]),
+                grid["fft_iter_choices"].index(key[3]),
+            ),
+        )
+        assert [order[key] for key in expected] == list(range(len(order)))

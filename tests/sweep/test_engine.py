@@ -1,0 +1,150 @@
+"""Engine semantics: canonical merge, parallel parity, memo, resume."""
+
+import pytest
+
+from repro.obs import state as obs
+from repro.sweep import (
+    Memo,
+    SweepAxis,
+    SweepError,
+    SweepSpec,
+    build_sweep_report,
+    register_evaluator,
+    run_sweep,
+)
+
+
+# Module-level so forked pool workers inherit the registration.
+def _echo(point, context, memo):
+    return {"a": point["a"], "b": point["b"], "scale": context.get("scale", 1)}
+
+
+def _product(point, context, memo):
+    # Shares one memoized sub-evaluation per distinct "a" across points.
+    base = memo.get_or_compute(("base", point["a"]), lambda: point["a"] * 10)
+    return {"value": base + context["offset"], "b": point["b"]}
+
+
+def _boom(point, context, memo):
+    if point["a"] == 2:
+        raise RuntimeError("kaboom at a=2")
+    return {"a": point["a"]}
+
+
+register_evaluator("test.echo", _echo)
+register_evaluator("test.product", _product)
+register_evaluator("test.boom", _boom)
+
+
+def _spec(evaluator="test.echo", context=None, chunk_size=None):
+    return SweepSpec(
+        name="toy",
+        evaluator=evaluator,
+        axes=(SweepAxis("a", (1, 2, 3)), SweepAxis("b", ("x", "y"))),
+        context=context if context is not None else {"scale": 1},
+        chunk_size=chunk_size,
+    )
+
+
+class TestSerialEngine:
+    def test_values_in_canonical_order(self):
+        outcome = run_sweep(_spec(), jobs=1)
+        assert [v["a"] for v in outcome.values] == [1, 1, 2, 2, 3, 3]
+        assert [v["b"] for v in outcome.values] == ["x", "y"] * 3
+        assert outcome.reused == 0 and outcome.evaluated == 6
+
+    def test_rows_default_to_dict_values(self):
+        outcome = run_sweep(_spec(), jobs=1)
+        assert outcome.rows == outcome.values
+
+    def test_chunking_never_changes_output(self):
+        by_chunk = {
+            size: run_sweep(_spec(chunk_size=size), jobs=1).values
+            for size in (1, 2, 5, 64)
+        }
+        reference = run_sweep(_spec(), jobs=1).values
+        for values in by_chunk.values():
+            assert values == reference
+
+    def test_memo_shared_across_whole_run(self):
+        outcome = run_sweep(
+            _spec("test.product", {"offset": 5}, chunk_size=1), jobs=1
+        )
+        # 3 distinct "a" values over 6 points: 3 misses, 3 hits — across
+        # chunk boundaries, because jobs=1 keeps one memo for the run.
+        assert (outcome.memo_hits, outcome.memo_misses) == (3, 3)
+        assert outcome.memo_hit_rate == pytest.approx(0.5)
+
+    def test_evaluator_error_propagates(self):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_sweep(_spec("test.boom", {}), jobs=1)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(_spec(), jobs=0)
+
+    def test_dispatch_metrics_published(self):
+        with obs.capture() as (tracer, registry):
+            run_sweep(_spec(), jobs=1)
+        counters = registry.counters()
+        assert counters["sweep.points"] == 6
+        assert counters["sweep.chunks.scheduled"] >= 1
+        assert (
+            counters["sweep.chunks.completed"]
+            == counters["sweep.chunks.scheduled"]
+        )
+        spans = [span.name for span in tracer.spans()]
+        assert "sweep:run" in spans
+
+
+class TestParallelEngine:
+    def test_parallel_output_bit_identical(self):
+        serial = run_sweep(_spec(), jobs=1)
+        parallel = run_sweep(_spec(), jobs=2)
+        assert parallel.values == serial.values
+        assert parallel.rows == serial.rows
+        assert parallel.point_keys == serial.point_keys
+        assert parallel.jobs == 2
+
+    def test_parallel_chunk_failure_is_wrapped(self):
+        with pytest.raises(SweepError, match="canonical indices"):
+            run_sweep(_spec("test.boom", {}, chunk_size=1), jobs=2)
+
+    def test_worker_utilisation_bounded(self):
+        outcome = run_sweep(_spec(), jobs=2)
+        assert 0.0 <= outcome.worker_utilisation <= 1.0
+
+
+class TestResume:
+    def test_full_resume_reuses_everything(self):
+        report = build_sweep_report(run_sweep(_spec(), jobs=1))
+        resumed = run_sweep(_spec(), jobs=1, resume=report)
+        assert resumed.reused == 6 and resumed.evaluated == 0
+        # Resumed values are the stored JSON rows.
+        assert resumed.values == [entry["row"] for entry in report["points"]]
+
+    def test_partial_resume_evaluates_only_pending(self):
+        report = build_sweep_report(run_sweep(_spec(), jobs=1))
+        report["points"] = report["points"][:4]
+        resumed = run_sweep(_spec(), jobs=1, resume=report)
+        assert resumed.reused == 4 and resumed.evaluated == 2
+        assert resumed.rows == run_sweep(_spec(), jobs=1).rows
+
+    def test_fingerprint_mismatch_rejected(self):
+        report = build_sweep_report(run_sweep(_spec(), jobs=1))
+        other = SweepSpec(
+            name="toy",
+            evaluator="test.echo",
+            axes=_spec().axes,
+            context={"scale": 2},
+        )
+        with pytest.raises(SweepError, match="fingerprint mismatch"):
+            run_sweep(other, jobs=1, resume=report)
+
+    def test_out_of_range_indices_ignored(self):
+        report = build_sweep_report(run_sweep(_spec(), jobs=1))
+        report["points"].append(
+            {"index": 99, "key": {"a": 9, "b": "z"}, "row": {"a": 9}}
+        )
+        resumed = run_sweep(_spec(), jobs=1, resume=report)
+        assert resumed.reused == 6

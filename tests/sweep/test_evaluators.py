@@ -1,0 +1,160 @@
+"""Built-in evaluators reproduce their serial surfaces bit-for-bit."""
+
+import pytest
+
+from repro.params import BASELINE_JUNG, CkksParams
+from repro.perf import BootstrapModel, CacheModel, MADConfig
+from repro.hardware import PRIOR_DESIGNS, mad_counterpart
+from repro.hardware.runtime import estimate_runtime
+from repro.sweep import Memo, SweepAxis, SweepSpec, build_preset, run_sweep
+from repro.sweep.evaluators import memoized_bootstrap_cost
+
+
+class TestSearchCandidate:
+    def test_matches_direct_evaluation(self):
+        from repro.search.throughput import bootstrap_throughput
+
+        design = mad_counterpart(PRIOR_DESIGNS["GPU [Jung et al.]"])
+        spec = SweepSpec(
+            name="one",
+            evaluator="search.candidate",
+            axes=(SweepAxis("params", (BASELINE_JUNG,)),),
+            context={
+                "design": design,
+                "config": MADConfig.all(),
+                "enforce_cache": False,
+            },
+        )
+        result = run_sweep(spec, jobs=1).values[0]
+        cost = BootstrapModel(BASELINE_JUNG, MADConfig.all()).total_cost()
+        runtime = estimate_runtime(cost, design)
+        assert result.cost == cost
+        assert result.runtime == runtime
+        assert result.throughput == bootstrap_throughput(
+            BASELINE_JUNG.slots,
+            BASELINE_JUNG.log_q1,
+            BASELINE_JUNG.bit_precision,
+            runtime.seconds,
+        )
+
+    def test_enforce_cache_uses_design_capacity(self):
+        design = mad_counterpart(PRIOR_DESIGNS["GPU [Jung et al.]"])
+        spec = SweepSpec(
+            name="one",
+            evaluator="search.candidate",
+            axes=(SweepAxis("params", (BASELINE_JUNG,)),),
+            context={
+                "design": design,
+                "config": MADConfig.all(),
+                "enforce_cache": True,
+            },
+        )
+        result = run_sweep(spec, jobs=1).values[0]
+        expected = BootstrapModel(
+            BASELINE_JUNG, MADConfig.all(), design.cache
+        ).total_cost()
+        assert result.cost == expected
+
+
+class TestBootstrapCost:
+    def test_matches_direct_model(self):
+        spec = SweepSpec(
+            name="cache-ladder",
+            evaluator="bootstrap.cost",
+            axes=(SweepAxis("cache_mb", (2.0, 32.0)),),
+            context={
+                "params": BASELINE_JUNG,
+                "config": MADConfig.caching_only(),
+            },
+        )
+        rows = run_sweep(spec, jobs=1).values
+        for row, mb in zip(rows, (2.0, 32.0)):
+            cost = BootstrapModel(
+                BASELINE_JUNG, MADConfig.caching_only(), CacheModel.from_mb(mb)
+            ).total_cost()
+            assert row["cache_mb"] == mb
+            assert row["traffic_total"] == cost.traffic.total
+            assert row["ops_total"] == cost.ops.total
+            assert row["dram_gb"] == cost.gigabytes()
+
+    def test_flag_axis_toggles_single_optimizations(self):
+        spec = SweepSpec(
+            name="flags",
+            evaluator="bootstrap.cost",
+            axes=(SweepAxis("flag", ("baseline", "cache_o1")),),
+            context={"params": BASELINE_JUNG, "config": MADConfig.none()},
+        )
+        base_row, o1_row = run_sweep(spec, jobs=1).values
+        assert base_row["traffic_total"] == (
+            BootstrapModel(BASELINE_JUNG, MADConfig.none()).total_cost().traffic.total
+        )
+        assert o1_row["traffic_total"] == (
+            BootstrapModel(BASELINE_JUNG, MADConfig(cache_o1=True))
+            .total_cost()
+            .traffic.total
+        )
+        assert o1_row["traffic_total"] < base_row["traffic_total"]
+
+    def test_missing_params_rejected(self):
+        spec = SweepSpec(
+            name="broken",
+            evaluator="bootstrap.cost",
+            axes=(SweepAxis("cache_mb", (2.0,)),),
+            context={"config": MADConfig.none()},
+        )
+        with pytest.raises(ValueError, match="params and config"):
+            run_sweep(spec, jobs=1)
+
+    def test_memoized_cost_reused(self):
+        memo = Memo()
+        first = memoized_bootstrap_cost(
+            BASELINE_JUNG, MADConfig.none(), None, memo
+        )
+        second = memoized_bootstrap_cost(
+            BASELINE_JUNG, MADConfig.none(), None, memo
+        )
+        assert first is second
+        assert memo.stats() == (1, 1)
+
+
+class TestFig6Bar:
+    def test_grid_matches_serial_series(self):
+        from repro.apps import helr_training
+        from repro.report.figures import generate_fig6_grid, generate_fig6_series
+
+        design = PRIOR_DESIGNS["BTS"]
+        sizes = [32.0, 256.0]
+        serial = generate_fig6_series(
+            design, lambda p: helr_training(p, iterations=30), sizes
+        )
+        grid = generate_fig6_grid("lr", [design], sizes)[design.name]
+        assert grid == serial
+
+    def test_unknown_workload_rejected(self):
+        from repro.report.figures import generate_fig6_grid
+
+        with pytest.raises(ValueError, match="workload"):
+            generate_fig6_grid("svm", [PRIOR_DESIGNS["BTS"]], [32.0])
+
+
+class TestPresets:
+    def test_known_presets_build(self):
+        for name in ("table5", "ablation-cache", "memsim-ladder"):
+            spec = build_preset(name, quick=True)
+            assert spec.size > 0
+
+    def test_quick_is_smaller(self):
+        assert (
+            build_preset("table5", quick=True).size
+            < build_preset("table5").size
+        )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown sweep"):
+            build_preset("nope")
+
+    def test_ablation_preset_matches_committed_benchmark(self):
+        from repro.sweep.presets import ABLATION_CACHE_SIZES
+
+        spec = build_preset("ablation-cache")
+        assert spec.axes[0].values == tuple(float(s) for s in ABLATION_CACHE_SIZES)

@@ -1,0 +1,43 @@
+"""Evaluator registry: lazy built-ins, idempotent registration."""
+
+import pytest
+
+from repro.sweep import get_evaluator, register_evaluator
+from repro.sweep.registry import registered_evaluators
+
+
+def _fn(point, context, memo):
+    return {"ok": True}
+
+
+class TestRegistry:
+    def test_builtins_resolve_lazily(self):
+        for name in (
+            "search.candidate",
+            "bootstrap.cost",
+            "fig6.bar",
+            "memsim.primitive",
+        ):
+            assert get_evaluator(name).name == name
+
+    def test_unknown_evaluator_lists_known(self):
+        with pytest.raises(KeyError, match="search.candidate"):
+            get_evaluator("no.such.evaluator")
+
+    def test_reregistration_of_same_fn_is_idempotent(self):
+        register_evaluator("test.registry-fn", _fn)
+        register_evaluator("test.registry-fn", _fn)  # no error
+
+    def test_conflicting_registration_rejected(self):
+        register_evaluator("test.registry-conflict", _fn)
+        with pytest.raises(ValueError, match="already registered"):
+            register_evaluator("test.registry-conflict", lambda p, c, m: None)
+
+    def test_default_row_wraps_non_dict_values(self):
+        evaluator = register_evaluator("test.registry-row", _fn)
+        assert evaluator.row({"a": 1}, {}) == {"a": 1}
+        assert evaluator.row(42, {}) == {"value": 42}
+
+    def test_snapshot_contains_builtins(self):
+        names = set(registered_evaluators())
+        assert {"search.candidate", "bootstrap.cost"} <= names

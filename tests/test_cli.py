@@ -321,3 +321,59 @@ class TestBenchCommand:
     def test_unknown_workload_filter_exits(self):
         with pytest.raises(SystemExit, match="no bench workloads match"):
             main(["bench", "--workloads", "nonexistent"])
+
+
+class TestSweepCommand:
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "memsim-ladder" in out
+
+    def test_missing_preset_exits(self):
+        with pytest.raises(SystemExit, match="choose a sweep preset"):
+            main(["sweep"])
+
+    def test_quick_ablation_sweep(self, capsys):
+        assert main(["sweep", "ablation-cache", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated" in out and "memo hit rate" in out
+
+    def test_json_report_is_valid(self, capsys):
+        import json
+
+        from repro.sweep import validate_sweep_report
+
+        assert main(["sweep", "ablation-cache", "--quick", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_sweep_report(report)
+        assert report["sweep"] == "ablation-cache"
+
+    def test_out_then_resume_cycle(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep_report.json"
+        assert main(["sweep", "ablation-cache", "--quick",
+                     "--out", str(path)]) == 0
+        first = json.loads(path.read_text())
+        assert main(["sweep", "ablation-cache", "--quick",
+                     "--resume", str(path), "--out", str(path)]) == 0
+        resumed = json.loads(path.read_text())
+        out = capsys.readouterr().out
+        assert "4 reused" in out
+        assert resumed["points"] == first["points"]
+        assert resumed["reused"] == len(first["points"])
+
+    def test_resume_missing_file_starts_fresh(self, capsys, tmp_path):
+        assert main(["sweep", "ablation-cache", "--quick",
+                     "--resume", str(tmp_path / "absent.json")]) == 0
+        assert "starting fresh" in capsys.readouterr().out
+
+    def test_jobs_flag_parallel_smoke(self, capsys):
+        assert main(["sweep", "ablation-cache", "--quick", "--jobs", "2"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_search_jobs_matches_serial(self, capsys):
+        assert main(["search", "--quick", "--top", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["search", "--quick", "--top", "3", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
