@@ -48,3 +48,116 @@ def test_null_hooks_are_cheap(benchmark):
             state.count("noop")
 
     benchmark(hammer)
+
+
+# ----------------------------------------------------------------------
+# PR-6 telemetry: the new hooks must stay invisible when disabled, and
+# the cross-process snapshot machinery must stay a rounding error next
+# to the workload it observes.
+# ----------------------------------------------------------------------
+def _best_of(fn, repeats=7):
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.repro("telemetry overhead (profiled_span disabled)")
+def test_profiled_span_disabled_path_gate(benchmark):
+    """Disabled profiled_span must track plain obs.span within 5% + 5ms.
+
+    The fast path is a single ``tracing_enabled()`` test before
+    delegating to the null span; per 10k iterations the difference must
+    be noise-level.
+    """
+    from repro.obs.profiler import profiled_span
+
+    assert not state.tracing_enabled()
+
+    def plain(iterations=10_000):
+        for _ in range(iterations):
+            with state.span("noop", index=1):
+                pass
+
+    def profiled(iterations=10_000):
+        for _ in range(iterations):
+            with profiled_span("noop", index=1):
+                pass
+
+    base = _best_of(plain)
+    gated = _best_of(profiled)
+    benchmark.extra_info["plain_s"] = base
+    benchmark.extra_info["profiled_s"] = gated
+    assert gated <= base * 1.05 + 0.005, (
+        f"disabled profiled_span path too slow: {gated:.4f}s vs "
+        f"{base:.4f}s plain (gate: 5% + 5ms)"
+    )
+    benchmark(profiled)
+
+
+@pytest.mark.repro("telemetry overhead (snapshot capture+merge+graft)")
+def test_snapshot_machinery_overhead_gate(benchmark):
+    """Capture→merge→graft on the primitive micro trace: <5% + 2ms.
+
+    This is exactly the extra work a ``--jobs N`` sweep does per chunk
+    relative to serial tracing; gating it against the micro workload
+    keeps the cross-process path honest as span trees grow.
+    """
+    from repro.obs.bench import primitive_micro_cost
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import (
+        capture_snapshot,
+        graft_snapshot,
+        merge_snapshots,
+    )
+    from repro.obs.tracer import Tracer
+    from repro.params import MAD_OPTIMAL
+
+    params, config = MAD_OPTIMAL, MADConfig.all()
+
+    def workload():
+        with state.capture():
+            primitive_micro_cost(params, config)
+
+    def workload_with_snapshot():
+        with state.capture() as (tracer, registry):
+            primitive_micro_cost(params, config)
+            snapshot = capture_snapshot(tracer, registry)
+        merged = merge_snapshots([snapshot, snapshot])
+        graft_snapshot(merged, Tracer())
+
+    base = _best_of(workload)
+    full = _best_of(workload_with_snapshot)
+    benchmark.extra_info["workload_s"] = base
+    benchmark.extra_info["with_snapshot_s"] = full
+    assert full <= base * 1.05 + 0.002, (
+        f"snapshot machinery too slow: {full:.4f}s vs {base:.4f}s "
+        f"workload (gate: 5% + 2ms)"
+    )
+    benchmark(workload_with_snapshot)
+
+
+@pytest.mark.repro("telemetry overhead (event emission)")
+def test_event_emission_throughput(benchmark, tmp_path):
+    """1k chunk_complete emissions land in tens of milliseconds."""
+    from repro.obs.events import CHUNK_COMPLETE, EventLog, provenance
+
+    path = str(tmp_path / "events.jsonl")
+
+    def emit(lines=1_000):
+        with EventLog(path) as log:
+            log.start("bench", provenance_block=provenance())
+            for index in range(lines):
+                log.emit(
+                    CHUNK_COMPLETE,
+                    {"chunk": index, "points_done": index},
+                )
+
+    elapsed = _best_of(emit, repeats=3)
+    benchmark.extra_info["emit_1k_s"] = elapsed
+    assert elapsed < 0.5, f"event emission too slow: {elapsed:.3f}s per 1k"
+    benchmark(emit)

@@ -34,7 +34,8 @@ def test_parallel_parity(benchmark):
     # ...and so are the persisted reports, minus the scheduling fields.
     parallel_report = build_sweep_report(outcome)
     serial_report = build_sweep_report(serial)
-    for volatile in ("jobs", "chunks", "memo", "wall_seconds", "worker_utilisation"):
+    for volatile in ("jobs", "chunks", "memo", "wall_seconds",
+                     "worker_utilisation", "provenance", "workers"):
         parallel_report.pop(volatile)
         serial_report.pop(volatile)
     assert parallel_report == serial_report

@@ -12,6 +12,10 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro bench --check
     python -m repro lint --json src/repro
     python -m repro sweep table5 --jobs 4 --out sweep_report.json
+    python -m repro sweep table5 --jobs 4 --events events.jsonl --report run_report.json
+    python -m repro profile bootstrap --params optimal --config all
+    python -m repro top events.jsonl
+    python -m repro dash events.jsonl --out dash.html
 
 Table commands accept ``--json`` for machine-readable output; ``trace``
 records a hierarchical span tree and writes it as Chrome trace-event JSON
@@ -21,7 +25,12 @@ analytical workloads against the committed baselines in
 ``benchmarks/baselines/``; ``lint`` mechanically enforces the cost-model
 and observability invariants (see :mod:`repro.lint`); ``sweep`` runs a
 declarative parameter sweep (see :mod:`repro.sweep`) over worker
-processes with a resumable machine-readable report.
+processes with a resumable machine-readable report, optionally streaming
+a ``repro.obs.events/v1`` JSONL event log and a merged cross-process
+``run_report.json``; ``profile`` attributes host resources (RSS,
+allocation peaks, CPU, GC) span by span; ``top`` renders live progress
+from an event stream; ``dash`` turns an event stream into a
+self-contained HTML dashboard.
 """
 
 from __future__ import annotations
@@ -462,6 +471,9 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import time
+
+    from repro.obs import state as obs
     from repro.sweep import (
         build_preset,
         build_sweep_report,
@@ -487,7 +499,60 @@ def _cmd_sweep(args) -> int:
         resume = load_sweep_report(args.resume)
         if resume is None:
             print(f"no resumable report at {args.resume}; starting fresh")
-    outcome = run_sweep(spec, jobs=args.jobs, resume=resume)
+
+    event_log = None
+    if args.events:
+        from repro.obs.events import RUN_END, EventLog, provenance
+
+        event_log = EventLog(args.events)
+        event_log.start(
+            command=f"sweep {args.preset}",
+            provenance_block=provenance(
+                config_fingerprint=spec.fingerprint()
+            ),
+        )
+    try:
+        if args.report:
+            # Capture telemetry: workers ship span/metric snapshots back
+            # and the engine merges them in canonical chunk order, so the
+            # exported run report is bit-identical (post strip_volatile)
+            # for any --jobs.
+            from repro.obs.export import build_run_report, validate_run_report
+            from repro.obs.profiler import (
+                process_cpu_seconds,
+                run_resource_summary,
+            )
+
+            wall0 = time.perf_counter()
+            cpu0 = process_cpu_seconds()
+            with obs.capture() as (tracer, registry):
+                outcome = run_sweep(
+                    spec, jobs=args.jobs, resume=resume, events=event_log
+                )
+                resources = run_resource_summary(
+                    wall_seconds=time.perf_counter() - wall0,
+                    cpu_seconds=process_cpu_seconds() - cpu0,
+                )
+            run_report = build_run_report(
+                tracer,
+                registry,
+                command=f"sweep {args.preset}",
+                workload=f"sweep:{spec.name}",
+                resources=resources,
+            )
+            validate_run_report(run_report)
+            with open(args.report, "w") as handle:
+                json.dump(run_report, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        else:
+            outcome = run_sweep(
+                spec, jobs=args.jobs, resume=resume, events=event_log
+            )
+        if event_log is not None:
+            event_log.emit(RUN_END, {"exit_code": 0})
+    finally:
+        if event_log is not None:
+            event_log.close()
     report = build_sweep_report(outcome)
     validate_sweep_report(report)
     if args.out:
@@ -507,6 +572,151 @@ def _cmd_sweep(args) -> int:
     )
     if args.out:
         print(f"wrote sweep report to {args.out}")
+    if args.events:
+        print(f"wrote event log to {args.events}")
+    if args.report:
+        print(f"wrote run report to {args.report}")
+    return 0
+
+
+def _profile_workload(args):
+    """``(name, thunk)`` for a profile target; thunk returns the total cost."""
+    params = _PARAM_SETS[args.params]
+    config = _CONFIGS[args.config]()
+    cache = CacheModel.from_mb(args.cache_mb) if args.cache_mb else None
+    if args.target == "bootstrap":
+        return "bootstrap", lambda: BootstrapModel(params, config, cache).ledger().total
+    if args.target == "micro":
+        from repro.obs.bench import primitive_micro_cost
+
+        return "micro", lambda: primitive_micro_cost(params, config, cache)
+    from repro.apps import helr_training, resnet20_inference, workload_cost
+
+    workload = (
+        helr_training(params) if args.target == "helr" else resnet20_inference(params)
+    )
+    return workload.name, lambda: workload_cost(workload, params, config, cache).total
+
+
+def _cmd_profile(args) -> int:
+    import time
+
+    from repro.obs.export import build_run_report, validate_run_report
+    from repro.obs.profiler import (
+        process_cpu_seconds,
+        profile_capture,
+        render_resource_profile,
+        run_resource_summary,
+    )
+
+    workload_name, run = _profile_workload(args)
+    wall0 = time.perf_counter()
+    cpu0 = process_cpu_seconds()
+    with profile_capture(
+        max_depth=args.depth, trace_allocs=not args.no_alloc
+    ) as (tracer, registry):
+        run()
+        # Summarised inside the block: tracemalloc stops at exit.
+        resources = run_resource_summary(
+            wall_seconds=time.perf_counter() - wall0,
+            cpu_seconds=process_cpu_seconds() - cpu0,
+        )
+    if args.json:
+        _print_json(
+            {
+                "workload": workload_name,
+                "params": args.params,
+                "config": args.config,
+                "resources": resources,
+                "spans": [
+                    {
+                        "name": span.name,
+                        "depth": span.depth,
+                        "resource": span.meta["resource"],
+                    }
+                    for span in tracer.spans()
+                    if "resource" in span.meta
+                ],
+            }
+        )
+    else:
+        print(render_resource_profile(tracer))
+        print(
+            f"\nwall {resources['wall_seconds']:.3f}s, "
+            f"cpu {resources['cpu_seconds']:.3f}s, "
+            f"gc {resources['gc_collections']} collections"
+        )
+    if args.report:
+        report = build_run_report(
+            tracer,
+            registry,
+            command=f"profile {args.target}",
+            workload=workload_name,
+            params=args.params,
+            resources=resources,
+        )
+        validate_run_report(report)
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote run report to {args.report}")
+    return 0
+
+
+def _render_top(model) -> str:
+    from repro.obs.profiler import _format_bytes  # rendering helper
+
+    total = model["points_total"] or 0
+    done = model["points_done"]
+    pct = done / total if total else 0.0
+    status = "finished" if model["finished"] else "in flight"
+    bar_width = 30
+    filled = int(round(pct * bar_width))
+    bar = "#" * filled + "-" * (bar_width - filled)
+    lines = [
+        f"sweep {model['sweep'] or model['command'] or '?'} [{status}] "
+        f"jobs={model.get('jobs', 1)}",
+        f"  [{bar}] {done:,}/{total:,} points ({pct:.1%})",
+        f"  rate {model['points_per_second']:,.1f} points/s, "
+        f"memo hit rate {model['memo_hit_rate']:.1%}, "
+        f"wall {model['wall_seconds']:.2f}s",
+    ]
+    for worker in sorted(model["workers"].values(), key=lambda w: w["pid"]):
+        lines.append(
+            f"  pid {worker['pid']:>7}: {worker['chunks']:>4} chunks, "
+            f"peak RSS {_format_bytes(worker['peak_rss_bytes'])}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs.dash import build_dashboard
+    from repro.obs.events import read_events
+
+    while True:
+        # Non-strict: the sweep may still be appending; a torn trailing
+        # line is dropped rather than treated as corruption.
+        events = read_events(args.events, strict=False)
+        model = build_dashboard(events)
+        print(_render_top(model))
+        if model["finished"] or not args.follow:
+            return 0
+        time.sleep(args.interval)
+        print()
+
+
+def _cmd_dash(args) -> int:
+    from repro.obs.dash import write_dashboard
+
+    model = write_dashboard(args.events, args.out)
+    print(
+        f"wrote dashboard to {args.out} "
+        f"({model['points_done']:,}/{model['points_total']:,} points, "
+        f"{len(model['workers'])} workers, "
+        f"{'finished' if model['finished'] else 'in flight'})"
+    )
     return 0
 
 
@@ -782,18 +992,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default=None, help="write sweep_report.json here"
     )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream a repro.obs.events/v1 JSONL event log here "
+        "(live-tailable by `repro top` and renderable by `repro dash`)",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="capture cross-process telemetry and write the merged "
+        "run_report.json here (bit-identical across --jobs after "
+        "strip_volatile)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument(
         "--list", action="store_true", help="list sweep presets and exit"
     )
     p.set_defaults(func=_cmd_sweep)
 
+    p = sub.add_parser(
+        "profile",
+        help="attribute host resources (RSS, allocations, CPU, GC) span by span",
+    )
+    p.add_argument("target", choices=("bootstrap", "helr", "resnet", "micro"))
+    p.add_argument("--params", choices=_PARAM_SETS, default="baseline")
+    p.add_argument("--config", choices=_CONFIGS, default="none")
+    p.add_argument("--cache-mb", type=float, default=None)
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=3,
+        help="meter spans down to this stack depth (deeper spans trace unmetered)",
+    )
+    p.add_argument(
+        "--no-alloc",
+        action="store_true",
+        help="skip tracemalloc (cheaper; loses allocation peaks)",
+    )
+    p.add_argument(
+        "--report", default=None, help="also write run_report.json here"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "top",
+        help="render sweep progress from an event log (live-tails with --follow)",
+    )
+    p.add_argument("events", help="events.jsonl written by `sweep --events`")
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render every --interval seconds until the sweep finishes",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, help="polling interval seconds"
+    )
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "dash",
+        help="render an event log as a self-contained HTML dashboard",
+    )
+    p.add_argument("events", help="events.jsonl written by `sweep --events`")
+    p.add_argument(
+        "--out", default="dash.html", help="output path (default dash.html)"
+    )
+    p.set_defaults(func=_cmd_dash)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs import state as obs
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Every invocation runs against pristine observability state and
+    # restores the caller's on exit: repeated in-process main() calls
+    # (tests, notebooks) must not leak a tracer or registry between
+    # commands through the module-global registry.
+    with obs.scoped():
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

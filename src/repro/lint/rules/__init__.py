@@ -16,12 +16,16 @@ Importing this package registers every rule with
 * :class:`~repro.lint.rules.tracing.TraceDiscipline` — memsim trace
   events are emitted only via ``TraceRecorder``, and simulated byte
   counters accumulate only in ``memsim/accounting.py``.
+* :class:`~repro.lint.rules.telemetry.TelemetryDiscipline` — host
+  resource sampling stays in ``obs/profiler.py`` and the
+  ``repro.obs.events/*`` schema id appears only in ``obs/events.py``.
 """
 
 from repro.lint.rules.config import ConfigFlagCoverage
 from repro.lint.rules.exact import ExactArithPurity
 from repro.lint.rules.ledger import LedgerDiscipline
 from repro.lint.rules.spans import SpanLabelStability
+from repro.lint.rules.telemetry import TelemetryDiscipline
 from repro.lint.rules.tracing import TraceDiscipline
 from repro.lint.rules.units import UnitsHygiene
 
@@ -30,6 +34,7 @@ __all__ = [
     "ExactArithPurity",
     "LedgerDiscipline",
     "SpanLabelStability",
+    "TelemetryDiscipline",
     "TraceDiscipline",
     "UnitsHygiene",
 ]

@@ -19,8 +19,9 @@ Outcomes per primitive:
   *actually* diverge — a stale expectation fails the gate too, so known
   breaks are asserted and documented, never silently tolerated.
 
-The report is emitted under schema ``repro.memsim/v1``
-(:data:`MEMSIM_REPORT_SCHEMA`) and :func:`validate_memsim_report`
+The report is emitted under schema ``repro.memsim/v1.1``
+(:data:`MEMSIM_REPORT_SCHEMA`; v1.1 adds the required ``provenance``
+block, v1 reports stay readable) and :func:`validate_memsim_report`
 performs the structural checks without the ``jsonschema`` dependency,
 mirroring :mod:`repro.obs.export`.
 
@@ -43,7 +44,11 @@ from repro.perf.events import MemTraffic
 from repro.perf.optimizations import CACHING_LADDER, MADConfig
 from repro.sweep.spec import SweepAxis, SweepSpec
 
-SCHEMA_ID = "repro.memsim/v1"
+SCHEMA_ID = "repro.memsim/v1.1"
+
+#: Schema ids accepted by :func:`validate_memsim_report`; new reports are
+#: always written with :data:`SCHEMA_ID`.
+ACCEPTED_SCHEMA_IDS = ("repro.memsim/v1", SCHEMA_ID)
 
 #: Streams compared, matching :class:`repro.perf.events.MemTraffic`.
 STREAM_FIELDS = ("ct_read", "ct_write", "key_read", "pt_read")
@@ -138,7 +143,8 @@ MEMSIM_REPORT_SCHEMA: Dict[str, Any] = {
         "passed",
     ],
     "properties": {
-        "schema": {"const": SCHEMA_ID},
+        "schema": {"enum": list(ACCEPTED_SCHEMA_IDS)},
+        "provenance": {"type": "object"},
         "params": {"type": "string"},
         "policy": {"enum": sorted(POLICIES)},
         "tolerance": {"type": "number", "minimum": 0},
@@ -412,8 +418,13 @@ def run_validation(
                 "passed": all(e["passed"] for e in entries),
             }
         )
+    from repro.obs.events import provenance as build_provenance
+
     return {
         "schema": SCHEMA_ID,
+        "provenance": build_provenance(
+            config_fingerprint=spec.fingerprint()
+        ),
         "params": params_key,
         "policy": policy_name,
         "tolerance": tolerance,
@@ -474,8 +485,15 @@ def validate_memsim_report(report: Any) -> None:
 
     if not isinstance(report, dict):
         fail("top level is not an object")
-    if report.get("schema") != SCHEMA_ID:
-        fail(f"schema id {report.get('schema')!r} != {SCHEMA_ID!r}")
+    if report.get("schema") not in ACCEPTED_SCHEMA_IDS:
+        fail(
+            f"schema id {report.get('schema')!r} not in "
+            f"{ACCEPTED_SCHEMA_IDS!r}"
+        )
+    if report["schema"] == SCHEMA_ID:
+        from repro.obs.events import validate_provenance
+
+        validate_provenance(report.get("provenance"), fail)
     for key in (
         "params",
         "policy",

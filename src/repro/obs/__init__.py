@@ -19,7 +19,13 @@ The subsystem has three layers:
   the versioned ``cost_diff.json`` schema;
 * :mod:`repro.obs.baseline` / :mod:`repro.obs.bench` — committed
   baseline snapshots (``benchmarks/baselines/``) and the
-  ``python -m repro bench`` regression gate built on the diff engine.
+  ``python -m repro bench`` regression gate built on the diff engine;
+* :mod:`repro.obs.telemetry` / :mod:`repro.obs.profiler` /
+  :mod:`repro.obs.events` / :mod:`repro.obs.dash` — cross-process
+  telemetry snapshots (capture/merge/graft, deterministic across
+  ``--jobs``), host resource profiling (RSS / tracemalloc / CPU / GC),
+  the provenance-stamped ``repro.obs.events/v1`` JSONL stream, and the
+  standalone HTML dashboard over it.
 
 Typical use::
 
@@ -47,9 +53,12 @@ from repro.obs.state import (
     metrics_enabled,
     observe,
     record_cost,
+    reset,
+    scoped,
     set_metrics,
     set_tracer,
     span,
+    suppressed,
     tracing_enabled,
 )
 
@@ -72,8 +81,11 @@ __all__ = [
     "metrics_enabled",
     "observe",
     "record_cost",
+    "reset",
+    "scoped",
     "set_metrics",
     "set_tracer",
     "span",
+    "suppressed",
     "tracing_enabled",
 ]

@@ -59,12 +59,23 @@ def baseline_key(
 
 
 def normalize_report(report: Dict[str, Any]) -> Dict[str, Any]:
-    """A deep copy with all wall-clock fields zeroed (deterministic fixture)."""
+    """A deep copy with host-measurement fields removed (deterministic fixture).
+
+    Wall-clock fields are zeroed and resource samples (run-level
+    ``resources`` block, per-span ``meta.resource``) dropped — both are
+    machine noise.  The ``provenance`` block is kept: it is what makes a
+    committed baseline attributable to the commit that produced it.
+    """
     normalized = copy.deepcopy(report)
     normalized["wall_seconds"] = 0.0
+    if "resources" in normalized:
+        normalized["resources"] = None
     for span in normalized.get("spans", ()):
         span["start_us"] = 0.0
         span["duration_us"] = 0.0
+        meta = span.get("meta")
+        if isinstance(meta, dict):
+            meta.pop("resource", None)
     return normalized
 
 

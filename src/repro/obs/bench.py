@@ -35,7 +35,13 @@ from repro.obs.export import (
     validate_run_report,
 )
 
-TRAJECTORY_SCHEMA_ID = "repro.obs.bench_trajectory/v1"
+TRAJECTORY_SCHEMA_ID = "repro.obs.bench_trajectory/v1.1"
+
+#: Trajectory schema ids accepted on load; v1.1 adds per-entry provenance.
+ACCEPTED_TRAJECTORY_SCHEMA_IDS = (
+    "repro.obs.bench_trajectory/v1",
+    TRAJECTORY_SCHEMA_ID,
+)
 
 
 @dataclass(frozen=True)
@@ -232,9 +238,17 @@ def run_spec(spec: BenchSpec) -> Dict[str, Any]:
 
     from repro.cli import _CONFIGS
 
+    from repro.obs.profiler import process_cpu_seconds, run_resource_summary
+
     runner, workload_name = _runner(spec)
+    cpu0 = process_cpu_seconds()
+    wall0 = time.perf_counter()
     with obs.capture() as (tracer, registry):
         runner()
+    resources = run_resource_summary(
+        wall_seconds=time.perf_counter() - wall0,
+        cpu_seconds=process_cpu_seconds() - cpu0,
+    )
 
     runtime = None
     if spec.design:
@@ -258,6 +272,7 @@ def run_spec(spec: BenchSpec) -> Dict[str, Any]:
         params=spec.params,
         config=asdict(_CONFIGS[spec.config]()),
         runtime=runtime,
+        resources=resources,
     )
     validate_run_report(report)
     return report
@@ -280,15 +295,19 @@ def _append_trajectory(
                 existing = json.load(handle)
             if (
                 isinstance(existing, dict)
-                and existing.get("schema") == TRAJECTORY_SCHEMA_ID
+                and existing.get("schema") in ACCEPTED_TRAJECTORY_SCHEMA_IDS
                 and isinstance(existing.get("entries"), list)
             ):
                 trajectory = existing
+                trajectory["schema"] = TRAJECTORY_SCHEMA_ID
         except (OSError, ValueError):
             pass  # corrupt trajectory: start a fresh one
+    from repro.obs.events import provenance as build_provenance
+
     trajectory["entries"].append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "provenance": build_provenance(),
             "wall_seconds": runner_seconds,
             "trace_wall_seconds": report["wall_seconds"],
             "ops_total": report["totals"]["ops"]["total"],

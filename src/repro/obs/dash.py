@@ -1,0 +1,365 @@
+"""``repro dash``: a self-contained HTML dashboard over an event stream.
+
+Renders a ``repro.obs.events/v1`` JSONL file (see
+:mod:`repro.obs.events`) into a single HTML file with **no external
+resources** — no CDN scripts, no fonts, no stylesheets; everything is
+inline, so the artifact can be archived next to the run report and
+opened offline years later.
+
+Layout: a header with the run's provenance, stat tiles (points, wall
+time, throughput, memo hit rate, peak worker RSS), an SVG progress line
+chart (points completed over time), per-worker RSS bars, and a chunk
+table.  Colors follow the repo's chart conventions: a single blue series
+on light/dark surfaces selected via CSS custom properties (the dark
+values are their own steps, not an automatic inversion), and text always
+wears ink tokens, never the series color.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.events import read_events
+
+__all__ = ["build_dashboard", "render_dashboard", "write_dashboard"]
+
+#: Palette roles (light, dark) — validated categorical slot 1 + chrome.
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --series-1-soft:  #9ec5f4;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --series-1-soft:  #256abf;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --gridline:       #2c2c2a;
+  --baseline:       #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+  --series-1-soft:  #256abf;
+}
+.viz-root {
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px; min-height: 100vh;
+}
+.viz-root h1 { font-size: 1.25rem; margin: 0 0 4px; }
+.viz-root .sub { color: var(--text-secondary); font-size: 0.85rem; margin: 0 0 20px; }
+.viz-root .prov { color: var(--text-muted); font-size: 0.75rem; margin: 4px 0 0; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .v { font-size: 1.5rem; }
+.tile .k { color: var(--text-secondary); font-size: 0.75rem; margin-top: 2px; }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin-bottom: 20px;
+}
+.panel h2 { font-size: 0.9rem; margin: 0 0 12px; color: var(--text-primary); }
+svg text { font-family: inherit; fill: var(--text-muted); font-size: 10px; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .grid { stroke: var(--gridline); stroke-width: 1; }
+svg .line { stroke: var(--series-1); stroke-width: 2; fill: none; }
+svg .dot { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
+svg .dot:hover { r: 6; }
+svg .bar { fill: var(--series-1); }
+table { border-collapse: collapse; width: 100%; font-size: 0.8rem; }
+th { text-align: left; color: var(--text-secondary); font-weight: 600; }
+th, td { padding: 4px 10px 4px 0; border-bottom: 1px solid var(--gridline); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr:hover td { background: color-mix(in srgb, var(--series-1) 8%, transparent); }
+"""
+
+
+def _fmt_bytes(value: float) -> str:
+    amount = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if amount < 1024 or unit == "GiB":
+            return f"{amount:,.1f} {unit}" if unit != "B" else f"{int(amount)} B"
+        amount /= 1024
+    return f"{value:.0f} B"  # pragma: no cover - unreachable
+
+
+def build_dashboard(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Reduce an event stream to the model the dashboard renders."""
+    model: Dict[str, Any] = {
+        "command": "",
+        "provenance": {},
+        "sweep": None,
+        "points_total": 0,
+        "points_done": 0,
+        "wall_seconds": None,
+        "memo_hits": 0,
+        "memo_misses": 0,
+        "workers": {},
+        "progress": [],  # (t_rel, points_done)
+        "chunks": [],
+        "finished": False,
+    }
+    t0: Optional[float] = None
+    for event in events:
+        kind, data, ts = event["type"], event["data"], event["ts"]
+        if t0 is None:
+            t0 = ts
+        if kind == "run_start":
+            model["command"] = data.get("command", "")
+            model["provenance"] = data.get("provenance", {})
+        elif kind == "sweep_start":
+            model["sweep"] = data.get("sweep")
+            model["points_total"] = data.get("points", 0)
+            model["points_done"] = data.get("reused", 0)
+            model["jobs"] = data.get("jobs", 1)
+            model["progress"].append((ts - t0, model["points_done"]))
+        elif kind == "chunk_complete":
+            model["points_done"] = data.get("points_done", model["points_done"])
+            model["memo_hits"] += data.get("memo_hits", 0)
+            model["memo_misses"] += data.get("memo_misses", 0)
+            model["progress"].append((ts - t0, model["points_done"]))
+            worker = data.get("worker", {})
+            pid = worker.get("pid")
+            if pid is not None:
+                entry = model["workers"].setdefault(
+                    pid, {"pid": pid, "chunks": 0, "peak_rss_bytes": 0}
+                )
+                entry["chunks"] += 1
+                entry["peak_rss_bytes"] = max(
+                    entry["peak_rss_bytes"], worker.get("peak_rss_bytes", 0)
+                )
+            model["chunks"].append(
+                {
+                    "chunk": data.get("chunk"),
+                    "first_index": data.get("first_index"),
+                    "last_index": data.get("last_index"),
+                    "busy_seconds": data.get("busy_seconds", 0.0),
+                    "memo_hits": data.get("memo_hits", 0),
+                    "memo_misses": data.get("memo_misses", 0),
+                    "pid": pid,
+                    "t_rel": ts - t0,
+                }
+            )
+        elif kind == "sweep_end":
+            model["wall_seconds"] = data.get("wall_seconds")
+            model["finished"] = True
+            for worker in data.get("workers", []):
+                pid = worker.get("pid")
+                if pid is None:
+                    continue
+                entry = model["workers"].setdefault(
+                    pid, {"pid": pid, "chunks": 0, "peak_rss_bytes": 0}
+                )
+                entry["peak_rss_bytes"] = max(
+                    entry["peak_rss_bytes"], worker.get("peak_rss_bytes", 0)
+                )
+    last_t = model["progress"][-1][0] if model["progress"] else 0.0
+    if model["wall_seconds"] is None:
+        model["wall_seconds"] = last_t
+    rate_window = model["wall_seconds"] or last_t
+    done_new = model["points_done"]
+    model["points_per_second"] = done_new / rate_window if rate_window else 0.0
+    total = model["memo_hits"] + model["memo_misses"]
+    model["memo_hit_rate"] = model["memo_hits"] / total if total else 0.0
+    model["peak_rss_bytes"] = max(
+        (w["peak_rss_bytes"] for w in model["workers"].values()), default=0
+    )
+    return model
+
+
+def _progress_svg(progress: List[Any], total: int) -> str:
+    """Single-series progress line (points completed over seconds)."""
+    width, height = 640, 200
+    pad_l, pad_r, pad_t, pad_b = 42, 12, 10, 24
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    if not progress:
+        return (
+            f'<svg viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="no progress data">'
+            f'<text x="{width / 2}" y="{height / 2}" text-anchor="middle">'
+            "no progress events</text></svg>"
+        )
+    t_max = max((t for t, _ in progress), default=0.0) or 1.0
+    y_max = max(total, max(done for _, done in progress), 1)
+
+    def x(t: float) -> float:
+        return pad_l + (t / t_max) * plot_w
+
+    def y(done: float) -> float:
+        return pad_t + plot_h - (done / y_max) * plot_h
+
+    gridlines = []
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        gy = pad_t + plot_h - frac * plot_h
+        label = f"{frac * y_max:,.0f}"
+        gridlines.append(
+            f'<line class="grid" x1="{pad_l}" y1="{gy:.1f}" '
+            f'x2="{width - pad_r}" y2="{gy:.1f}"/>'
+            f'<text x="{pad_l - 6}" y="{gy + 3:.1f}" '
+            f'text-anchor="end">{label}</text>'
+        )
+    points = " ".join(f"{x(t):.1f},{y(d):.1f}" for t, d in progress)
+    dots = "".join(
+        f'<circle class="dot" cx="{x(t):.1f}" cy="{y(d):.1f}" r="3.5">'
+        f"<title>{d:,} points at {t:.2f}s</title></circle>"
+        for t, d in progress
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="points completed over time">'
+        + "".join(gridlines)
+        + f'<line class="axis" x1="{pad_l}" y1="{pad_t + plot_h}" '
+        f'x2="{width - pad_r}" y2="{pad_t + plot_h}"/>'
+        + f'<polyline class="line" points="{points}"/>'
+        + dots
+        + f'<text x="{pad_l}" y="{height - 6}">0s</text>'
+        f'<text x="{width - pad_r}" y="{height - 6}" '
+        f'text-anchor="end">{t_max:.2f}s</text>'
+        "</svg>"
+    )
+
+
+def _worker_bars(workers: Dict[Any, Dict[str, Any]]) -> str:
+    """Horizontal per-worker peak-RSS bars with direct labels."""
+    rows = sorted(workers.values(), key=lambda w: w["pid"])
+    if not rows:
+        return "<p class='sub'>no worker data</p>"
+    width, bar_h, gap = 640, 18, 8
+    label_w, value_w = 110, 90
+    plot_w = width - label_w - value_w
+    peak = max(w["peak_rss_bytes"] for w in rows) or 1
+    height = len(rows) * (bar_h + gap) + gap
+    bars = []
+    for i, worker in enumerate(rows):
+        by = gap + i * (bar_h + gap)
+        bw = max(2.0, (worker["peak_rss_bytes"] / peak) * plot_w)
+        bars.append(
+            f'<text x="{label_w - 8}" y="{by + bar_h - 5}" '
+            f'text-anchor="end">pid {worker["pid"]}</text>'
+            f'<rect class="bar" x="{label_w}" y="{by}" rx="4" '
+            f'width="{bw:.1f}" height="{bar_h}">'
+            f'<title>pid {worker["pid"]}: '
+            f'{_fmt_bytes(worker["peak_rss_bytes"])} peak RSS, '
+            f'{worker["chunks"]} chunks</title></rect>'
+            f'<text x="{label_w + bw + 6:.1f}" y="{by + bar_h - 5}">'
+            f'{_fmt_bytes(worker["peak_rss_bytes"])}</text>'
+        )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="peak RSS per worker">' + "".join(bars) + "</svg>"
+    )
+
+
+def render_dashboard(events: Sequence[Mapping[str, Any]]) -> str:
+    """Render an event stream as a standalone HTML document."""
+    model = build_dashboard(events)
+    esc = html.escape
+    provenance = model["provenance"]
+    sha = str(provenance.get("git_sha", "unknown"))[:12]
+    dirty = " (dirty)" if provenance.get("git_dirty") else ""
+    status = "finished" if model["finished"] else "in flight"
+    title = model["sweep"] or model["command"] or "run"
+
+    tiles = [
+        (f"{model['points_done']:,} / {model['points_total']:,}", "points"),
+        (f"{model['wall_seconds']:.2f}s", "wall time"),
+        (f"{model['points_per_second']:,.1f}", "points / s"),
+        (f"{model['memo_hit_rate']:.1%}", "memo hit rate"),
+        (_fmt_bytes(model["peak_rss_bytes"]), "peak worker RSS"),
+        (str(len(model["workers"]) or 1), "workers"),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{esc(value)}</div>'
+        f'<div class="k">{esc(label)}</div></div>'
+        for value, label in tiles
+    )
+    chunk_rows = "".join(
+        f"<tr><td class='num'>{c['chunk']}</td>"
+        f"<td class='num'>{c['first_index']}–{c['last_index']}</td>"
+        f"<td class='num'>{c['busy_seconds'] * 1e3:,.1f}</td>"
+        f"<td class='num'>{c['memo_hits']}</td>"
+        f"<td class='num'>{c['memo_misses']}</td>"
+        f"<td class='num'>{c['pid']}</td>"
+        f"<td class='num'>{c['t_rel']:,.2f}</td></tr>"
+        for c in model["chunks"]
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro dash — {esc(str(title))}</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>repro sweep dashboard — {esc(str(title))}</h1>
+<p class="sub">{esc(model["command"])} · {esc(status)}
+<span class="prov">commit {esc(sha)}{esc(dirty)} ·
+python {esc(str(provenance.get("python", "?")))} ·
+numpy {esc(str(provenance.get("numpy", "?")))}</span></p>
+<div class="tiles">{tiles_html}</div>
+<div class="panel"><h2>Points completed over time</h2>
+{_progress_svg(model["progress"], model["points_total"])}</div>
+<div class="panel"><h2>Peak RSS per worker</h2>
+{_worker_bars(model["workers"])}</div>
+<div class="panel"><h2>Chunks</h2>
+<table>
+<thead><tr><th class="num">chunk</th><th class="num">indices</th>
+<th class="num">busy ms</th><th class="num">memo hits</th>
+<th class="num">memo misses</th><th class="num">pid</th>
+<th class="num">t (s)</th></tr></thead>
+<tbody>{chunk_rows}</tbody>
+</table></div>
+<p class="prov">schema {esc(str(events[0]["schema"] if events else "?"))} ·
+{len(events)} events · argv {esc(" ".join(map(str, provenance.get("argv", []))))}</p>
+</body>
+</html>
+"""
+
+
+def write_dashboard(events_path: str, out_path: str) -> Dict[str, Any]:
+    """Read an events file, render the dashboard, write it; returns the model.
+
+    Tolerates a live (still-growing) events file: a torn trailing line is
+    dropped rather than failing the render.
+    """
+    events = read_events(events_path, strict=False)
+    document = render_dashboard(events)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return build_dashboard(events)
+
+
+def _self_test() -> None:  # pragma: no cover - manual aid
+    print(json.dumps({"css_bytes": len(_CSS)}))

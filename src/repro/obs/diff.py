@@ -31,7 +31,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.export import SCHEMA_ID as RUN_REPORT_SCHEMA_ID
+from repro.obs.export import (
+    ACCEPTED_SCHEMA_IDS as ACCEPTED_RUN_REPORT_SCHEMA_IDS,
+)
 from repro.obs.export import compute_span_paths
 
 SCHEMA_ID = "repro.obs.cost_diff/v1"
@@ -121,9 +123,10 @@ def _check_report(report: Any, which: str) -> None:
     if not isinstance(report, dict) or "spans" not in report:
         raise ValueError(f"{which} is not a run report (no spans)")
     schema = report.get("schema")
-    if schema != RUN_REPORT_SCHEMA_ID:
+    if schema not in ACCEPTED_RUN_REPORT_SCHEMA_IDS:
         raise ValueError(
-            f"{which} has schema {schema!r}, expected {RUN_REPORT_SCHEMA_ID!r}"
+            f"{which} has schema {schema!r}, expected one of "
+            f"{ACCEPTED_RUN_REPORT_SCHEMA_IDS!r}"
         )
 
 

@@ -8,9 +8,15 @@ Three output formats, all fed from one :class:`~repro.obs.tracer.Tracer`:
 * **Flat text profile** (:func:`render_flat_profile`) — spans aggregated
   by name in the :meth:`repro.perf.ledger.CostLedger.render` style.
 * **``run_report.json``** (:func:`build_run_report`) — a stable
-  machine-readable summary (schema id ``repro.obs.run_report/v1``,
+  machine-readable summary (schema id ``repro.obs.run_report/v1.1``,
   JSON-Schema in :data:`RUN_REPORT_SCHEMA`) suitable for ``BENCH_*.json``
   trajectory tracking and mechanical run-to-run diffing.
+
+Schema history: v1.1 adds a required ``provenance`` block (git SHA,
+python/numpy versions, argv — see :func:`repro.obs.events.provenance`)
+and an optional ``resources`` block (peak RSS, allocation peak, CPU
+seconds).  v1 reports remain readable everywhere
+(:data:`ACCEPTED_SCHEMA_IDS`).
 """
 
 from __future__ import annotations
@@ -18,9 +24,15 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from repro.obs.events import provenance as build_provenance
+from repro.obs.events import validate_provenance
 from repro.perf.events import CostReport, MemTraffic, OpCount
 
-SCHEMA_ID = "repro.obs.run_report/v1"
+SCHEMA_ID = "repro.obs.run_report/v1.1"
+
+#: Schema ids :func:`validate_run_report` accepts; new reports are always
+#: written with :data:`SCHEMA_ID`.
+ACCEPTED_SCHEMA_IDS = ("repro.obs.run_report/v1", SCHEMA_ID)
 
 
 def compute_span_paths(names_and_depths) -> List[str]:
@@ -63,9 +75,41 @@ RUN_REPORT_SCHEMA: Dict[str, Any] = {
     "$id": SCHEMA_ID,
     "title": "repro.obs run report",
     "type": "object",
-    "required": ["schema", "command", "wall_seconds", "totals", "spans", "metrics"],
+    "required": [
+        "schema",
+        "command",
+        "wall_seconds",
+        "totals",
+        "spans",
+        "metrics",
+        "provenance",
+    ],
     "properties": {
-        "schema": {"const": SCHEMA_ID},
+        "schema": {"enum": list(ACCEPTED_SCHEMA_IDS)},
+        "provenance": {
+            "type": "object",
+            "required": ["git_sha", "python", "platform", "argv"],
+            "properties": {
+                "git_sha": {"type": "string"},
+                "git_dirty": {"type": ["boolean", "null"]},
+                "python": {"type": "string"},
+                "numpy": {"type": ["string", "null"]},
+                "platform": {"type": "string"},
+                "argv": {"type": "array"},
+                "config_fingerprint": {"type": ["string", "null"]},
+            },
+        },
+        "resources": {
+            "type": ["object", "null"],
+            "properties": {
+                "peak_rss_bytes": {"type": "integer", "minimum": 0},
+                "alloc_peak_bytes": {"type": "integer", "minimum": 0},
+                "alloc_current_bytes": {"type": "integer", "minimum": 0},
+                "wall_seconds": {"type": "number", "minimum": 0},
+                "cpu_seconds": {"type": "number", "minimum": 0},
+                "gc_collections": {"type": "integer", "minimum": 0},
+            },
+        },
         "command": {"type": "string"},
         "workload": {"type": "string"},
         "params": {"type": ["string", "null"]},
@@ -307,8 +351,17 @@ def build_run_report(
     params: Optional[str] = None,
     config: Optional[Dict[str, Any]] = None,
     runtime: Optional[Dict[str, Any]] = None,
+    provenance: Optional[Dict[str, Any]] = None,
+    resources: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble the stable machine-readable summary of one traced run."""
+    """Assemble the stable machine-readable summary of one traced run.
+
+    ``provenance`` defaults to the current process's block
+    (:func:`repro.obs.events.provenance`) so every emitted report is
+    attributable to a commit; pass an explicit block to override.
+    ``resources`` is the optional host-resource summary
+    (:func:`repro.obs.profiler.run_resource_summary`).
+    """
     spans_out: List[Dict[str, Any]] = []
     spans = list(tracer.spans())
     origin = min((s.start for s in spans), default=0.0)
@@ -353,6 +406,10 @@ def build_run_report(
             else {"counters": {}, "gauges": {}, "histograms": {}}
         ),
         "runtime": _json_safe(runtime) if runtime is not None else None,
+        "provenance": _json_safe(
+            build_provenance() if provenance is None else provenance
+        ),
+        "resources": _json_safe(resources) if resources is not None else None,
     }
 
 
@@ -360,6 +417,8 @@ def validate_run_report(report: Any) -> None:
     """Structural validation of a run report; raises ValueError on mismatch.
 
     Mirrors :data:`RUN_REPORT_SCHEMA` without requiring ``jsonschema``.
+    Accepts every id in :data:`ACCEPTED_SCHEMA_IDS`; the ``provenance``
+    block is required from v1.1 on.
     """
 
     def fail(message: str) -> None:
@@ -367,8 +426,10 @@ def validate_run_report(report: Any) -> None:
 
     if not isinstance(report, dict):
         fail("top level is not an object")
-    if report.get("schema") != SCHEMA_ID:
-        fail(f"schema id {report.get('schema')!r} != {SCHEMA_ID!r}")
+    if report.get("schema") not in ACCEPTED_SCHEMA_IDS:
+        fail(f"schema id {report.get('schema')!r} not in {ACCEPTED_SCHEMA_IDS!r}")
+    if report["schema"] == SCHEMA_ID:
+        validate_provenance(report.get("provenance"), fail)
     for key in ("command", "wall_seconds", "totals", "spans", "metrics"):
         if key not in report:
             fail(f"missing required key {key!r}")

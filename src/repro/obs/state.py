@@ -110,6 +110,58 @@ def observe(name: str, value: float) -> None:
 # ----------------------------------------------------------------------
 # Scoped enablement
 # ----------------------------------------------------------------------
+def reset() -> None:
+    """Restore the pristine default state: null tracer, fresh disabled registry.
+
+    Back-to-back CLI invocations in one process (tests drive ``main()``
+    directly) must not see each other's counters; :func:`scoped` calls
+    this so every invocation starts clean.
+    """
+    global _tracer, _metrics, _metrics_enabled
+    _tracer = NULL_TRACER
+    _metrics = MetricsRegistry()
+    _metrics_enabled = False
+
+
+@contextmanager
+def scoped() -> Iterator[None]:
+    """Run a block against fresh global state, restoring the caller's on exit.
+
+    Unlike :func:`capture` this does not *enable* anything — it
+    guarantees isolation: whatever the block installs (via
+    :func:`capture`, :func:`set_tracer`, ...) is discarded afterwards,
+    and nothing recorded before the block bleeds in.  ``cli.main`` wraps
+    every command dispatch in one.
+    """
+    global _tracer, _metrics, _metrics_enabled
+    previous = (_tracer, _metrics, _metrics_enabled)
+    reset()
+    try:
+        yield
+    finally:
+        _tracer, _metrics, _metrics_enabled = previous
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Disable tracing and metrics for a block, restoring state on exit.
+
+    Used where instrumentation must be *observationally transparent*:
+    :meth:`repro.sweep.memo.Memo.get_or_compute` runs compute callbacks
+    under suppression so a memoized evaluation emits the same telemetry
+    on hit and miss (none) — otherwise merged span trees would depend on
+    which worker happened to see a key first.
+    """
+    global _tracer, _metrics, _metrics_enabled
+    previous = (_tracer, _metrics, _metrics_enabled)
+    _tracer = NULL_TRACER
+    _metrics_enabled = False
+    try:
+        yield
+    finally:
+        _tracer, _metrics, _metrics_enabled = previous
+
+
 @contextmanager
 def capture(
     tracer: Optional[Tracer] = None,

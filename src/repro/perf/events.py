@@ -17,6 +17,11 @@ class OpCount:
     mults: int = 0
     adds: int = 0
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpCount":
+        """Inverse of :func:`repro.obs.export.ops_dict` (``total`` ignored)."""
+        return cls(mults=int(data.get("mults", 0)), adds=int(data.get("adds", 0)))
+
     @property
     def total(self) -> int:
         return self.mults + self.adds
@@ -50,6 +55,16 @@ class MemTraffic:
     ct_write: int = 0
     key_read: int = 0
     pt_read: int = 0
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemTraffic":
+        """Inverse of :func:`repro.obs.export.traffic_dict` (``total`` ignored)."""
+        return cls(
+            ct_read=int(data.get("ct_read", 0)),
+            ct_write=int(data.get("ct_write", 0)),
+            key_read=int(data.get("key_read", 0)),
+            pt_read=int(data.get("pt_read", 0)),
+        )
 
     @property
     def total(self) -> int:
@@ -86,6 +101,14 @@ class CostReport:
 
     ops: OpCount = field(default_factory=OpCount)
     traffic: MemTraffic = field(default_factory=MemTraffic)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostReport":
+        """Inverse of :func:`repro.obs.export.cost_dict`."""
+        return cls(
+            ops=OpCount.from_dict(data.get("ops") or {}),
+            traffic=MemTraffic.from_dict(data.get("traffic") or {}),
+        )
 
     def __add__(self, other: "CostReport") -> "CostReport":
         return CostReport(self.ops + other.ops, self.traffic + other.traffic)

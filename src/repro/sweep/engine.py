@@ -16,24 +16,57 @@ to serial:
 ``jobs=1`` runs in-process (no executor, one shared memo) — the
 debuggable reference path; ``jobs>1`` fans chunks out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` whose workers keep a
-process-global memo across chunks.  Dispatch is observable: the run is
-wrapped in a ``sweep:run`` span and the engine publishes chunk/point
-counts, memo hit rate and worker utilisation through
-:mod:`repro.obs.state`.
+process-global memo across chunks.
+
+**Telemetry is cross-process and holds the same determinism bar.**  When
+the parent has tracing or metrics enabled, every chunk — serial or
+pooled — evaluates under a chunk-local capture
+(:func:`repro.obs.state.capture`): each point runs inside a
+``sweep:point`` span (with a host-resource sample via
+:func:`repro.obs.profiler.profiled_span`), and the chunk returns a
+:func:`~repro.obs.telemetry.capture_snapshot` alongside its results.
+After all chunks complete, the parent merges the snapshots **in
+canonical chunk order** (never completion order), grafts the merged
+span forest under the open ``sweep:run`` span and folds the metrics
+into its registry.  Because memoized computes are telemetry-suppressed
+(see :mod:`repro.sweep.memo`) and chunk boundaries vanish in the
+concatenation, the merged trace is bit-identical between ``--jobs N``
+and serial once scheduling-volatile fields are stripped
+(:func:`repro.obs.telemetry.strip_volatile`).
+
+Dispatch is also observable externally: pass an
+:class:`~repro.obs.events.EventLog` and the parent (the single writer)
+emits ``sweep_start`` / ``chunk_complete`` / ``sweep_end`` events that
+``repro top`` and ``repro dash`` consume.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import state as obs
+from repro.obs.events import CHUNK_COMPLETE, SWEEP_END, SWEEP_START, EventLog
+from repro.obs.profiler import (
+    alloc_tracing,
+    ensure_alloc_tracing,
+    process_cpu_seconds,
+    profiled_span,
+    rss_peak_bytes,
+)
+from repro.obs.telemetry import (
+    capture_snapshot,
+    graft_snapshot,
+    merge_into_registry,
+    merge_snapshots,
+)
 from repro.sweep.memo import Memo
 from repro.sweep.registry import get_evaluator
 from repro.sweep.spec import SweepSpec
 
-__all__ = ["SweepError", "SweepOutcome", "run_sweep"]
+__all__ = ["ChunkPayload", "SweepError", "SweepOutcome", "run_sweep"]
 
 
 class SweepError(RuntimeError):
@@ -43,11 +76,27 @@ class SweepError(RuntimeError):
 #: One dispatched chunk: ``(canonical_index, point)`` pairs.
 Chunk = List[Tuple[int, Mapping[str, Any]]]
 
-#: Worker return: results per index, memo hit/miss deltas, busy seconds.
-ChunkResult = Tuple[List[Tuple[int, Any]], int, int, float]
-
 #: Per-process memo reused across all chunks a pool worker executes.
 _WORKER_MEMO = Memo()
+
+
+@dataclass
+class ChunkPayload:
+    """Everything one evaluated chunk sends back to the parent.
+
+    ``snapshot`` is the chunk-local telemetry
+    (:data:`~repro.obs.telemetry.SNAPSHOT_VERSION`) or ``None`` when the
+    parent ran untraced; ``worker`` identifies the evaluating process
+    and its resource use (pid, process-peak RSS, CPU seconds spent on
+    this chunk).
+    """
+
+    results: List[Tuple[int, Any]]
+    memo_hits: int
+    memo_misses: int
+    busy_seconds: float
+    snapshot: Optional[Dict[str, Any]]
+    worker: Dict[str, Any]
 
 
 def _evaluate_chunk(
@@ -55,24 +104,52 @@ def _evaluate_chunk(
     context: Mapping[str, Any],
     chunk: Chunk,
     memo: Memo,
-) -> ChunkResult:
+    capture_telemetry: bool = False,
+) -> ChunkPayload:
     """Evaluate one chunk against ``memo``; shared by both execution paths."""
     evaluator = get_evaluator(evaluator_name)
     hits0, misses0 = memo.stats()
+    cpu0 = process_cpu_seconds()
     started = time.perf_counter()
     results: List[Tuple[int, Any]] = []
-    for index, point in chunk:
-        results.append((index, evaluator.fn(point, context, memo)))
+    snapshot: Optional[Dict[str, Any]] = None
+    if capture_telemetry:
+        with obs.capture() as (tracer, registry):
+            for index, point in chunk:
+                with profiled_span("sweep:point", index=index):
+                    results.append((index, evaluator.fn(point, context, memo)))
+        snapshot = capture_snapshot(tracer, registry)
+    else:
+        for index, point in chunk:
+            results.append((index, evaluator.fn(point, context, memo)))
     busy = time.perf_counter() - started
     hits1, misses1 = memo.stats()
-    return results, hits1 - hits0, misses1 - misses0, busy
+    return ChunkPayload(
+        results=results,
+        memo_hits=hits1 - hits0,
+        memo_misses=misses1 - misses0,
+        busy_seconds=busy,
+        snapshot=snapshot,
+        worker={
+            "pid": os.getpid(),
+            "peak_rss_bytes": rss_peak_bytes(),
+            "cpu_seconds": process_cpu_seconds() - cpu0,
+        },
+    )
 
 
 def _pool_chunk(
-    evaluator_name: str, context: Mapping[str, Any], chunk: Chunk
-) -> ChunkResult:
+    evaluator_name: str,
+    context: Mapping[str, Any],
+    chunk: Chunk,
+    capture_telemetry: bool,
+) -> ChunkPayload:
     """Top-level (picklable) worker entry point using the process memo."""
-    return _evaluate_chunk(evaluator_name, context, chunk, _WORKER_MEMO)
+    if capture_telemetry:
+        ensure_alloc_tracing()
+    return _evaluate_chunk(
+        evaluator_name, context, chunk, _WORKER_MEMO, capture_telemetry
+    )
 
 
 @dataclass
@@ -83,7 +160,9 @@ class SweepOutcome:
     canonical point ``i`` — except for points reused from a resumed
     report, whose values are the stored JSON rows (resume is a
     report-level contract; rich objects are not reconstructed).
-    ``rows[i]`` is always the JSON-able report row.
+    ``rows[i]`` is always the JSON-able report row.  ``workers``
+    summarises each evaluating process (the parent itself at
+    ``jobs=1``): pid, chunks executed, busy/CPU seconds, peak RSS.
     """
 
     spec: SweepSpec
@@ -97,6 +176,7 @@ class SweepOutcome:
     busy_seconds: float = 0.0
     wall_seconds: float = 0.0
     point_keys: List[Dict[str, Any]] = field(default_factory=list)
+    workers: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def evaluated(self) -> int:
@@ -138,19 +218,52 @@ def _resume_rows(
     return completed
 
 
+class _WorkerLedger:
+    """Aggregates per-chunk worker identities into a per-pid summary."""
+
+    def __init__(self) -> None:
+        self._by_pid: Dict[int, Dict[str, Any]] = {}
+
+    def record(self, worker: Mapping[str, Any], busy_seconds: float) -> None:
+        pid = int(worker["pid"])
+        entry = self._by_pid.setdefault(
+            pid,
+            {
+                "pid": pid,
+                "chunks": 0,
+                "busy_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "peak_rss_bytes": 0,
+            },
+        )
+        entry["chunks"] += 1
+        entry["busy_seconds"] += busy_seconds
+        entry["cpu_seconds"] += float(worker.get("cpu_seconds", 0.0))
+        entry["peak_rss_bytes"] = max(
+            entry["peak_rss_bytes"], int(worker.get("peak_rss_bytes", 0))
+        )
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return [self._by_pid[pid] for pid in sorted(self._by_pid)]
+
+
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     resume: Optional[Mapping[str, Any]] = None,
+    events: Optional[EventLog] = None,
 ) -> SweepOutcome:
     """Evaluate every point of ``spec``; results in canonical order.
 
     Args:
         spec: the sweep to run.
         jobs: worker processes; ``1`` evaluates in-process (no pool).
-        resume: a prior ``repro.sweep/v1`` report dict whose completed
+        resume: a prior ``repro.sweep`` report dict whose completed
             points are reused (fingerprints must match); only pending
             points are evaluated.
+        events: optional :class:`~repro.obs.events.EventLog`; the parent
+            (single writer) emits ``sweep_start`` / ``chunk_complete`` /
+            ``sweep_end`` as the run progresses.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -172,7 +285,46 @@ def run_sweep(
         outcome.values[index] = row
         outcome.rows[index] = dict(row)
 
+    capture_telemetry = obs.tracing_enabled() or obs.metrics_enabled()
+    ledger = _WorkerLedger()
+    done_points = len(completed)
+    if events is not None:
+        events.emit(
+            SWEEP_START,
+            {
+                "sweep": spec.name,
+                "evaluator": spec.evaluator,
+                "points": spec.size,
+                "reused": len(completed),
+                "jobs": jobs,
+                "chunks": len(chunks),
+                "fingerprint": spec.fingerprint(),
+            },
+        )
+
+    def note_chunk(position: int, indices: List[int], payload: ChunkPayload) -> None:
+        nonlocal done_points
+        done_points += len(indices)
+        ledger.record(payload.worker, payload.busy_seconds)
+        if events is not None:
+            events.emit(
+                CHUNK_COMPLETE,
+                {
+                    "chunk": position,
+                    "first_index": indices[0],
+                    "last_index": indices[-1],
+                    "points_done": done_points,
+                    "points_total": spec.size,
+                    "memo_hits": payload.memo_hits,
+                    "memo_misses": payload.memo_misses,
+                    "busy_seconds": payload.busy_seconds,
+                    "worker": dict(payload.worker),
+                },
+            )
+
     started = time.perf_counter()
+    #: chunk position -> telemetry snapshot, merged in position order below.
+    snapshots: Dict[int, Dict[str, Any]] = {}
     with obs.span(
         "sweep:run",
         sweep=spec.name,
@@ -185,12 +337,20 @@ def run_sweep(
         obs.count("sweep.chunks.scheduled", len(chunks))
         if jobs == 1 or not pending:
             memo = Memo()
-            for chunk_indices in chunks:
-                chunk = [(i, points[i]) for i in chunk_indices]
-                results, hits, misses, busy = _evaluate_chunk(
-                    spec.evaluator, spec.context, chunk, memo
-                )
-                _merge(outcome, evaluator.row, points, results, hits, misses, busy)
+            with alloc_tracing() if capture_telemetry else _noop_context():
+                for position, chunk_indices in enumerate(chunks):
+                    chunk = [(i, points[i]) for i in chunk_indices]
+                    payload = _evaluate_chunk(
+                        spec.evaluator,
+                        spec.context,
+                        chunk,
+                        memo,
+                        capture_telemetry,
+                    )
+                    _merge(outcome, evaluator.row, points, payload)
+                    if payload.snapshot is not None:
+                        snapshots[position] = payload.snapshot
+                    note_chunk(position, chunk_indices, payload)
         else:
             from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
@@ -202,17 +362,18 @@ def run_sweep(
                         spec.evaluator,
                         spec.context,
                         [(i, points[i]) for i in chunk_indices],
-                    ): chunk_indices
-                    for chunk_indices in chunks
+                        capture_telemetry,
+                    ): (position, chunk_indices)
+                    for position, chunk_indices in enumerate(chunks)
                 }
                 remaining = set(futures)
                 while remaining:
                     done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in done:
+                        position, indices = futures[future]
                         try:
-                            results, hits, misses, busy = future.result()
+                            payload = future.result()
                         except Exception as error:
-                            indices = futures[future]
                             for other in remaining:
                                 other.cancel()
                             raise SweepError(
@@ -220,33 +381,62 @@ def run_sweep(
                                 f"indices {indices[0]}..{indices[-1]} failed: "
                                 f"{error}"
                             ) from error
-                        _merge(
-                            outcome, evaluator.row, points, results, hits, misses, busy
-                        )
+                        _merge(outcome, evaluator.row, points, payload)
+                        if payload.snapshot is not None:
+                            snapshots[position] = payload.snapshot
+                        note_chunk(position, indices, payload)
+        if snapshots:
+            # Canonical chunk order — never completion order — so the
+            # merged telemetry is scheduling-independent.
+            merged = merge_snapshots(
+                [snapshots[position] for position in sorted(snapshots)]
+            )
+            if obs.tracing_enabled():
+                graft_snapshot(merged, obs.get_tracer())
+            if obs.metrics_enabled():
+                merge_into_registry(merged, obs.metrics())
     outcome.wall_seconds = time.perf_counter() - started
     outcome.point_keys = [spec.point_key(points[i]) for i in range(spec.size)]
+    outcome.workers = ledger.summary()
     obs.count("sweep.memo.hits", outcome.memo_hits)
     obs.count("sweep.memo.misses", outcome.memo_misses)
     obs.gauge("sweep.jobs", float(jobs))
     obs.gauge("sweep.worker_utilisation", outcome.worker_utilisation)
     obs.gauge("sweep.memo_hit_rate", outcome.memo_hit_rate)
+    if events is not None:
+        events.emit(
+            SWEEP_END,
+            {
+                "sweep": spec.name,
+                "points": spec.size,
+                "evaluated": outcome.evaluated,
+                "reused": outcome.reused,
+                "wall_seconds": outcome.wall_seconds,
+                "memo_hit_rate": outcome.memo_hit_rate,
+                "worker_utilisation": outcome.worker_utilisation,
+                "workers": outcome.workers,
+            },
+        )
     return outcome
+
+
+def _noop_context() -> Any:
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _merge(
     outcome: SweepOutcome,
     row_fn: Any,
     points: Mapping[int, Mapping[str, Any]],
-    results: Sequence[Tuple[int, Any]],
-    hits: int,
-    misses: int,
-    busy: float,
+    payload: ChunkPayload,
 ) -> None:
     """Fold one chunk's results into the canonical slots."""
-    for index, value in results:
+    for index, value in payload.results:
         outcome.values[index] = value
         outcome.rows[index] = row_fn(value, points[index])
-    outcome.memo_hits += hits
-    outcome.memo_misses += misses
-    outcome.busy_seconds += busy
+    outcome.memo_hits += payload.memo_hits
+    outcome.memo_misses += payload.memo_misses
+    outcome.busy_seconds += payload.busy_seconds
     obs.count("sweep.chunks.completed")

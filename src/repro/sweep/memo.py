@@ -9,11 +9,20 @@ survives across chunks dispatched to the same worker) and one for the
 whole run when executing in-process at ``jobs=1``.  Because every
 evaluation is a pure function of its key, memoization can never change
 sweep output — only how often the model is re-evaluated.
+
+Memoization is also **observationally transparent**: the compute
+callback runs under :func:`repro.obs.state.suppressed`, so a memoized
+evaluation emits the same telemetry on hit and miss — none.  Without
+this, a model's internal spans would appear only on the worker that
+happened to miss first, and the merged cross-process trace would depend
+on chunk scheduling instead of being bit-identical across ``--jobs``.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.obs import state as obs
 
 __all__ = ["Memo"]
 
@@ -34,7 +43,8 @@ class Memo:
             value = self._store[key]
         except KeyError:
             self.misses += 1
-            value = self._store[key] = compute()
+            with obs.suppressed():
+                value = self._store[key] = compute()
             return value
         self.hits += 1
         return value

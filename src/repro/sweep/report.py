@@ -1,4 +1,4 @@
-"""``sweep_report.json`` — schema ``repro.sweep/v1`` — and its validator.
+"""``sweep_report.json`` — schema ``repro.sweep/v1.1`` — and its validator.
 
 One report captures a whole sweep run: the spec identity (name,
 evaluator, axes as canonical value keys, fingerprint), dispatch
@@ -13,6 +13,11 @@ machines; the analytical rows are exact and bit-identical for any
 ``--jobs``.  :func:`validate_sweep_report` performs the structural
 checks without the ``jsonschema`` dependency, mirroring
 :mod:`repro.obs.export` and :mod:`repro.memsim.validate`.
+
+Schema history: v1.1 adds a required ``provenance`` block
+(:func:`repro.obs.events.provenance`, with the spec fingerprint as its
+``config_fingerprint``) and an optional ``workers`` array summarising
+each evaluating process; v1 reports remain loadable and resumable.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Any, Dict, Optional
 from repro.sweep.engine import SweepOutcome
 
 __all__ = [
+    "ACCEPTED_SCHEMA_IDS",
     "SCHEMA_ID",
     "SWEEP_REPORT_SCHEMA",
     "build_sweep_report",
@@ -31,7 +37,10 @@ __all__ = [
     "write_sweep_report",
 ]
 
-SCHEMA_ID = "repro.sweep/v1"
+SCHEMA_ID = "repro.sweep/v1.1"
+
+#: Schema ids accepted on load/resume; new reports always use SCHEMA_ID.
+ACCEPTED_SCHEMA_IDS = ("repro.sweep/v1", SCHEMA_ID)
 
 #: JSON-Schema (draft-07); CI validates with ``jsonschema`` where
 #: available and :func:`validate_sweep_report` mirrors it without the
@@ -57,7 +66,22 @@ SWEEP_REPORT_SCHEMA: Dict[str, Any] = {
         "points",
     ],
     "properties": {
-        "schema": {"const": SCHEMA_ID},
+        "schema": {"enum": list(ACCEPTED_SCHEMA_IDS)},
+        "provenance": {"type": "object"},
+        "workers": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["pid", "chunks"],
+                "properties": {
+                    "pid": {"type": "integer", "minimum": 0},
+                    "chunks": {"type": "integer", "minimum": 0},
+                    "busy_seconds": {"type": "number", "minimum": 0},
+                    "cpu_seconds": {"type": "number", "minimum": 0},
+                    "peak_rss_bytes": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
         "sweep": {"type": "string"},
         "evaluator": {"type": "string"},
         "fingerprint": {"type": "string", "pattern": "^[0-9a-f]{64}$"},
@@ -103,11 +127,17 @@ SWEEP_REPORT_SCHEMA: Dict[str, Any] = {
 
 
 def build_sweep_report(outcome: SweepOutcome) -> Dict[str, Any]:
-    """Assemble the ``repro.sweep/v1`` report for a finished run."""
+    """Assemble the ``repro.sweep/v1.1`` report for a finished run."""
+    from repro.obs.events import provenance as build_provenance
+
     spec = outcome.spec
     identity = spec.identity()
     report = {
         "schema": SCHEMA_ID,
+        "provenance": build_provenance(
+            config_fingerprint=spec.fingerprint()
+        ),
+        "workers": outcome.workers,
         "sweep": spec.name,
         "evaluator": spec.evaluator,
         "fingerprint": spec.fingerprint(),
@@ -171,8 +201,23 @@ def validate_sweep_report(report: Any) -> None:
 
     if not isinstance(report, dict):
         fail("top level is not an object")
-    if report.get("schema") != SCHEMA_ID:
-        fail(f"schema id {report.get('schema')!r} != {SCHEMA_ID!r}")
+    if report.get("schema") not in ACCEPTED_SCHEMA_IDS:
+        fail(
+            f"schema id {report.get('schema')!r} not in "
+            f"{ACCEPTED_SCHEMA_IDS!r}"
+        )
+    if report["schema"] == SCHEMA_ID:
+        from repro.obs.events import validate_provenance
+
+        validate_provenance(report.get("provenance"), fail)
+        workers = report.get("workers", [])
+        if not isinstance(workers, list):
+            fail("workers is not an array")
+        for index, worker in enumerate(workers):
+            if not isinstance(worker, dict) or not isinstance(
+                worker.get("pid"), int
+            ):
+                fail(f"workers[{index}] is not an object with an integer pid")
     for key in (
         "sweep",
         "evaluator",

@@ -576,3 +576,125 @@ class TestTraceDiscipline:
         )
         assert result.clean
         assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# TelemetryDiscipline
+# ----------------------------------------------------------------------
+class TestTelemetryDiscipline:
+    def test_getrusage_outside_profiler_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "sweep/engine.py": """
+                import resource
+
+                def worker_rss():
+                    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert rules_of(result) == [("TelemetryDiscipline", 5)]
+        assert "obs/profiler.py" in result.findings[0].message
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "tracemalloc.start()",
+            "tracemalloc.get_traced_memory()",
+            "tracemalloc.reset_peak()",
+            "psutil.Process()",
+            "gc.get_stats()",
+            "time.process_time()",
+        ],
+    )
+    def test_every_sampling_api_is_guarded(self, lint_tree, call):
+        module = call.split(".")[0]
+        result = lint_tree(
+            {
+                "obs/export.py": f"""
+                import {module}
+
+                def sample():
+                    return {call}
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert rules_of(result) == [("TelemetryDiscipline", 5)]
+
+    def test_profiler_module_may_sample(self, lint_tree):
+        result = lint_tree(
+            {
+                "obs/profiler.py": """
+                import gc
+                import resource
+                import time
+                import tracemalloc
+
+                def sample():
+                    tracemalloc.reset_peak()
+                    return (
+                        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                        time.process_time(),
+                        gc.get_stats(),
+                    )
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert result.clean
+
+    def test_other_gc_and_time_calls_are_fine(self, lint_tree):
+        result = lint_tree(
+            {
+                "sweep/engine.py": """
+                import gc
+                import time
+
+                def run():
+                    gc.collect()
+                    return time.perf_counter()
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert result.clean
+
+    def test_schema_id_literal_outside_events_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "sweep/engine.py": """
+                import json
+
+                def emit(handle, data):
+                    line = {"schema": "repro.obs.events/v1", "data": data}
+                    handle.write(json.dumps(line))
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert rules_of(result) == [("TelemetryDiscipline", 5)]
+        assert "EventLog" in result.findings[0].message
+
+    def test_events_module_may_spell_schema_id(self, lint_tree):
+        result = lint_tree(
+            {
+                "obs/events.py": """
+                EVENTS_SCHEMA_ID = "repro.obs.events/v1"
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert result.clean
+
+    def test_prose_mentions_are_not_schema_ids(self, lint_tree):
+        result = lint_tree(
+            {
+                "cli.py": """
+                HELP = "stream a repro.obs.events/v1 JSONL event log here"
+                """
+            },
+            rules=["TelemetryDiscipline"],
+        )
+        assert result.clean

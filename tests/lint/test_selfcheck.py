@@ -30,6 +30,7 @@ class TestTreeIsClean:
             "ExactArithPurity",
             "LedgerDiscipline",
             "SpanLabelStability",
+            "TelemetryDiscipline",
             "TraceDiscipline",
             "UnitsHygiene",
         ]

@@ -231,7 +231,7 @@ class TestRunBench:
         run_bench(specs, store, out_dir=str(out_dir))
         path = out_dir / f"BENCH_{specs[0].name}.json"
         trajectory = json.loads(path.read_text())
-        assert trajectory["schema"] == "repro.obs.bench_trajectory/v1"
+        assert trajectory["schema"] == "repro.obs.bench_trajectory/v1.1"
         assert len(trajectory["entries"]) == 2
         first, second = trajectory["entries"]
         assert first["ok"] is None  # update run: nothing gated

@@ -1,0 +1,166 @@
+"""Dashboard model reduction and self-contained HTML rendering."""
+
+import re
+
+import pytest
+
+from repro.obs.dash import build_dashboard, render_dashboard, write_dashboard
+from repro.obs.events import (
+    CHUNK_COMPLETE,
+    RUN_END,
+    SWEEP_END,
+    SWEEP_START,
+    EventLog,
+    provenance,
+    read_events,
+)
+
+
+@pytest.fixture
+def events(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventLog(path) as log:
+        log.start(
+            "sweep table5",
+            provenance_block=provenance(config_fingerprint="ab" * 32),
+        )
+        log.emit(SWEEP_START, {"sweep": "table5", "points": 6, "reused": 0, "jobs": 2})
+        log.emit(
+            CHUNK_COMPLETE,
+            {
+                "chunk": 0,
+                "first_index": 0,
+                "last_index": 2,
+                "points_done": 3,
+                "points_total": 6,
+                "memo_hits": 1,
+                "memo_misses": 2,
+                "busy_seconds": 0.5,
+                "worker": {"pid": 101, "peak_rss_bytes": 50 << 20},
+            },
+        )
+        log.emit(
+            CHUNK_COMPLETE,
+            {
+                "chunk": 1,
+                "first_index": 3,
+                "last_index": 5,
+                "points_done": 6,
+                "points_total": 6,
+                "memo_hits": 3,
+                "memo_misses": 0,
+                "busy_seconds": 0.4,
+                "worker": {"pid": 102, "peak_rss_bytes": 60 << 20},
+            },
+        )
+        log.emit(
+            SWEEP_END,
+            {
+                "sweep": "table5",
+                "points": 6,
+                "wall_seconds": 1.0,
+                "workers": [
+                    {"pid": 101, "peak_rss_bytes": 52 << 20},
+                    {"pid": 102, "peak_rss_bytes": 60 << 20},
+                ],
+            },
+        )
+        log.emit(RUN_END, {"exit_code": 0})
+    return read_events(path)
+
+
+class TestBuildDashboard:
+    def test_model_reduction(self, events):
+        model = build_dashboard(events)
+        assert model["sweep"] == "table5"
+        assert model["points_total"] == 6
+        assert model["points_done"] == 6
+        assert model["finished"] is True
+        assert model["memo_hits"] == 4
+        assert model["memo_misses"] == 2
+        assert model["memo_hit_rate"] == pytest.approx(4 / 6)
+        assert sorted(model["workers"]) == [101, 102]
+        # sweep_end refines pid 101's peak upward.
+        assert model["workers"][101]["peak_rss_bytes"] == 52 << 20
+        assert model["peak_rss_bytes"] == 60 << 20
+        assert len(model["chunks"]) == 2
+        assert model["wall_seconds"] == 1.0
+
+    def test_in_flight_stream(self, events):
+        # Drop sweep_end/run_end: a live run mid-sweep.
+        model = build_dashboard(events[:-2])
+        assert model["finished"] is False
+        assert model["points_done"] == 6
+        assert model["wall_seconds"] >= 0.0
+
+    def test_empty_stream(self):
+        model = build_dashboard([])
+        assert model["points_total"] == 0
+        assert model["points_per_second"] == 0.0
+        assert model["memo_hit_rate"] == 0.0
+
+
+class TestRenderDashboard:
+    def test_no_external_resources(self, events):
+        html = render_dashboard(events)
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "@import" not in html
+        assert "<script src" not in html
+
+    def test_contains_stats_and_charts(self, events):
+        html = render_dashboard(events)
+        assert "repro sweep dashboard" in html
+        assert "table5" in html
+        assert "memo hit rate" in html
+        assert "points / s" in html
+        assert html.count("<svg") == 2  # progress line + worker bars
+        assert "polyline" in html
+        assert "pid 101" in html and "pid 102" in html
+        assert "prefers-color-scheme: dark" in html
+        # Provenance is visible: the commit is attributable from the page.
+        sha = events[0]["data"]["provenance"]["git_sha"][:12]
+        assert sha in html
+
+    def test_chunk_table_rows(self, events):
+        html = render_dashboard(events)
+        assert html.count("<tr>") >= 3  # header + 2 chunks
+        assert "0–2" in html and "3–5" in html
+
+    def test_escapes_untrusted_strings(self, events):
+        doctored = [dict(e) for e in events]
+        doctored[0] = dict(doctored[0])
+        doctored[0]["data"] = dict(doctored[0]["data"])
+        doctored[0]["data"]["command"] = 'sweep <script>alert(1)</script>'
+        html = render_dashboard(doctored)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_render_empty_stream(self):
+        html = render_dashboard([])
+        assert "no progress events" in html
+        assert "no worker data" in html
+
+
+class TestWriteDashboard:
+    def test_writes_file_and_returns_model(self, events, tmp_path):
+        events_path = str(tmp_path / "events.jsonl")
+        with EventLog(events_path) as log:
+            log.start("sweep table5", provenance_block=provenance())
+            log.emit(SWEEP_START, {"sweep": "table5", "points": 2, "jobs": 1})
+        out = str(tmp_path / "dash.html")
+        model = write_dashboard(events_path, out)
+        assert model["sweep"] == "table5"
+        with open(out) as handle:
+            content = handle.read()
+        assert content.startswith("<!DOCTYPE html>")
+
+    def test_tolerates_torn_tail(self, tmp_path):
+        events_path = str(tmp_path / "events.jsonl")
+        with EventLog(events_path) as log:
+            log.start("sweep table5", provenance_block=provenance())
+        with open(events_path, "a") as handle:
+            handle.write('{"torn')
+        out = str(tmp_path / "dash.html")
+        write_dashboard(events_path, out)
+        assert re.search(r"<!DOCTYPE html>", open(out).read())

@@ -1,0 +1,96 @@
+"""Global-registry hygiene: reset, scoped and suppressed state."""
+
+from repro.obs import state as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestReset:
+    def test_reset_clears_installed_state(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with obs.capture(tracer, registry):
+            obs.count("x")
+            obs.reset()
+            assert obs.get_tracer() is NULL_TRACER
+            assert not obs.tracing_enabled()
+            assert not obs.metrics_enabled()
+            assert obs.metrics() is not registry
+
+
+class TestScoped:
+    def test_scoped_isolates_and_restores(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with obs.capture(tracer, registry):
+            registry_before = obs.metrics()
+            with obs.scoped():
+                # Inside the scope: pristine state, nothing bleeds in.
+                assert obs.get_tracer() is NULL_TRACER
+                assert not obs.metrics_enabled()
+                assert obs.metrics() is not registry_before
+                obs.count("leak")
+            # Outside: the captured state is back, untouched.
+            assert obs.get_tracer() is tracer
+            assert obs.metrics() is registry_before
+            assert obs.tracing_enabled()
+            assert "leak" not in registry.counters()
+
+    def test_scoped_restores_on_exception(self):
+        tracer = Tracer()
+        with obs.capture(tracer, MetricsRegistry()):
+            try:
+                with obs.scoped():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert obs.get_tracer() is tracer
+            assert obs.tracing_enabled()
+
+    def test_back_to_back_scopes_do_not_share_registries(self):
+        with obs.scoped():
+            first = obs.metrics()
+        with obs.scoped():
+            assert obs.metrics() is not first
+
+
+class TestSuppressed:
+    def test_suppressed_hides_spans_and_metrics(self):
+        with obs.capture() as (tracer, registry):
+            with obs.span("visible"):
+                pass
+            with obs.suppressed():
+                with obs.span("hidden"):
+                    pass
+                obs.count("hidden.count")
+            with obs.span("visible2"):
+                pass
+        assert [span.name for span in tracer.roots] == ["visible", "visible2"]
+        assert "hidden.count" not in registry.counters()
+
+    def test_suppressed_restores_on_exception(self):
+        with obs.capture() as (tracer, _registry):
+            try:
+                with obs.suppressed():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert obs.get_tracer() is tracer
+            assert obs.tracing_enabled()
+
+
+class TestCliMainIsScoped:
+    def test_main_does_not_leak_observability_state(self, capsys):
+        from repro.cli import main
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with obs.capture(tracer, registry):
+            # A traced command must not record into *our* tracer, and the
+            # state we installed must survive the invocation.
+            assert main(["table4"]) == 0
+            assert obs.get_tracer() is tracer
+            assert obs.metrics() is registry
+            assert tracer.roots == []
+            assert registry.counters() == {}
+        capsys.readouterr()

@@ -303,7 +303,7 @@ class TestBenchCommand:
         trajectories = list(out_dir.glob("BENCH_*.json"))
         assert trajectories
         doc = json.loads(trajectories[0].read_text())
-        assert doc["schema"] == "repro.obs.bench_trajectory/v1"
+        assert doc["schema"] == "repro.obs.bench_trajectory/v1.1"
 
     def test_check_against_committed_baselines(self, capsys):
         # The acceptance criterion: the committed benchmarks/baselines/
@@ -377,3 +377,135 @@ class TestSweepCommand:
         serial = capsys.readouterr().out
         assert main(["search", "--quick", "--top", "3", "--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestSweepTelemetryFlags:
+    def test_events_stream_written_and_valid(self, capsys, tmp_path):
+        from repro.obs.events import CHUNK_COMPLETE, RUN_END, read_events
+
+        events_path = tmp_path / "events.jsonl"
+        assert main(["sweep", "ablation-cache", "--quick",
+                     "--events", str(events_path)]) == 0
+        assert "wrote event log" in capsys.readouterr().out
+        events = read_events(str(events_path))  # strict validation
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == RUN_END
+        assert any(k == CHUNK_COMPLETE for k in kinds)
+        assert events[0]["data"]["command"] == "sweep ablation-cache"
+
+    def test_report_bit_identical_across_jobs(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_run_report
+        from repro.obs.telemetry import strip_volatile
+
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["sweep", "ablation-cache", "--quick",
+                     "--report", str(serial_path)]) == 0
+        assert main(["sweep", "ablation-cache", "--quick", "--jobs", "2",
+                     "--report", str(parallel_path)]) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        validate_run_report(serial)
+        validate_run_report(parallel)
+        assert serial["resources"]["peak_rss_bytes"] > 0
+        assert json.dumps(strip_volatile(serial), sort_keys=True) == \
+            json.dumps(strip_volatile(parallel), sort_keys=True)
+
+    def test_report_has_per_point_resource_spans(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rr.json"
+        assert main(["sweep", "ablation-cache", "--quick", "--jobs", "2",
+                     "--report", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+
+        def walk(spans):
+            for span in spans:
+                yield span
+                yield from walk(span.get("children", []))
+
+        points = [s for s in walk(report["spans"])
+                  if s["name"] == "sweep:point"]
+        assert points
+        assert all(s["meta"]["resource"]["rss_peak_bytes"] > 0
+                   for s in points)
+
+
+class TestProfileCommand:
+    def test_profile_micro(self, capsys):
+        assert main(["profile", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "process peak RSS" in out
+        assert "Primitives" in out
+
+    def test_profile_bootstrap_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_run_report
+
+        path = tmp_path / "rr.json"
+        assert main(["profile", "bootstrap", "--params", "optimal",
+                     "--config", "all", "--report", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        validate_run_report(report)
+        assert report["command"] == "profile bootstrap"
+        assert report["resources"]["peak_rss_bytes"] > 0
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main(["profile", "micro", "--json", "--depth", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "micro"
+        assert payload["resources"]["wall_seconds"] > 0
+        assert payload["spans"]
+        assert all(s["depth"] < 2 for s in payload["spans"])
+
+    def test_profile_no_alloc(self, capsys):
+        assert main(["profile", "micro", "--no-alloc", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resources"]["alloc_peak_bytes"] == 0
+
+
+class TestTopAndDashCommands:
+    def _events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["sweep", "ablation-cache", "--quick", "--jobs", "2",
+                     "--events", str(path)]) == 0
+        return str(path)
+
+    def test_top_renders_finished_sweep(self, capsys, tmp_path):
+        events = self._events(tmp_path)
+        capsys.readouterr()
+        assert main(["top", events]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "points" in out and "memo hit rate" in out
+        assert "pid" in out
+
+    def test_top_tolerates_torn_tail(self, capsys, tmp_path):
+        events = self._events(tmp_path)
+        with open(events, "a") as handle:
+            handle.write('{"torn')
+        capsys.readouterr()
+        assert main(["top", events]) == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_dash_writes_selfcontained_html(self, capsys, tmp_path):
+        events = self._events(tmp_path)
+        out_path = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["dash", events, "--out", str(out_path)]) == 0
+        assert "wrote dashboard" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "<svg" in html
