@@ -3,7 +3,7 @@ PYTHON ?= python
 # install step, preserving any PYTHONPATH the caller already exported.
 PYPATH = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench lint typecheck examples tables clean
+.PHONY: install test bench lint lint-fast typecheck examples tables clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,12 +15,17 @@ bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 lint:
-	$(PYPATH) $(PYTHON) -m repro lint src/repro
+	$(PYPATH) $(PYTHON) -m repro lint --program src/repro
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping (pip install ruff)"; \
 	fi
+
+# Same rules as `make lint` (incl. the whole-program pass) but replays
+# the previous result from .lint_cache/ when no file content changed.
+lint-fast:
+	$(PYPATH) $(PYTHON) -m repro lint --program --changed-only src/repro
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \

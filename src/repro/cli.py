@@ -946,6 +946,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule with its description and exit",
     )
+    p.add_argument(
+        "--program",
+        action="store_true",
+        help="additionally run the whole-program pass (taint, schema)",
+    )
+    p.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="replay the previous result from .lint_cache/ when no file changed",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text, or json with --json)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the chosen format to FILE (stdout stays text)",
+    )
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("balance", help="roofline balance of MAD design points")

@@ -12,8 +12,16 @@ an AST visitor core (:mod:`repro.lint.core`), a pluggable rule registry
 (:mod:`repro.lint.reporters`) and the domain rules themselves
 (:mod:`repro.lint.rules`).
 
+On top of the per-file rules sits a whole-program pass
+(:mod:`repro.lint.program`): a project symbol table and call graph feed
+an interprocedural nondeterminism-taint engine and a schema-literal
+consistency check.  Enable it with ``--program``; ``--changed-only``
+replays the previous result from ``.lint_cache/`` when nothing
+changed, and ``--format sarif`` emits SARIF 2.1.0 for code scanning.
+
 Run it as ``python -m repro lint [--json] [--rule NAME] [paths]`` or
-``make lint``; CI gates every push on a clean report.
+``make lint`` / ``make lint-fast``; CI gates every push on a clean
+``--program`` report.
 
 Typical programmatic use::
 
@@ -24,17 +32,29 @@ Typical programmatic use::
     assert not result.findings
 """
 
-from repro.lint.core import FileContext, Finding, LintResult, Rule, run_lint
+from repro.lint.cache import LintCache
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    LintResult,
+    ProgramRule,
+    Rule,
+    run_lint,
+)
 from repro.lint.registry import (
+    all_program_rules,
     all_rules,
+    get_program_rules,
     get_rules,
     register,
+    register_program,
     rule_descriptions,
     rule_names,
 )
 from repro.lint.reporters import (
     SCHEMA_VERSION,
     render_json,
+    render_sarif,
     render_text,
     report_dict,
     validate_report,
@@ -45,13 +65,19 @@ __all__ = [
     "SCHEMA_VERSION",
     "FileContext",
     "Finding",
+    "LintCache",
     "LintResult",
+    "ProgramRule",
     "Rule",
     "SuppressionIndex",
+    "all_program_rules",
     "all_rules",
+    "get_program_rules",
     "get_rules",
     "register",
+    "register_program",
     "render_json",
+    "render_sarif",
     "render_text",
     "report_dict",
     "rule_descriptions",

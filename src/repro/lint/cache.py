@@ -1,0 +1,130 @@
+"""Whole-result lint cache keyed by file content hashes.
+
+``repro lint --changed-only`` short-circuits the entire run when
+nothing relevant changed.  The cache is deliberately *whole-result*,
+not per-file: cross-file rules (``ConfigFlagCoverage``) and the
+program pass (taint, schema consistency) make a file's findings depend
+on every other file, so the only sound key is the full set of
+``(path, content-hash)`` pairs plus the rule selection and engine
+version.  A hit therefore means "identical inputs" and the previous
+:class:`~repro.lint.core.LintResult` is replayed verbatim (flagged
+with ``from_cache=True``).
+
+Entries live under ``.lint_cache/`` as one JSON file per key; stale
+entries are pruned down to the most recent few so the directory never
+grows without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.core import Finding, LintResult
+
+__all__ = ["CACHE_FORMAT", "DEFAULT_CACHE_DIR", "LintCache"]
+
+#: Bump to invalidate every existing cache entry (engine behaviour change).
+CACHE_FORMAT = "repro.lint.cache/v1"
+
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+#: Most-recent entries kept on disk; older ones are pruned on store.
+_MAX_ENTRIES = 8
+
+
+class LintCache:
+    """On-disk replay cache for whole lint runs."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def run_key(
+        self,
+        rule_names: Sequence[str],
+        files: Sequence[Tuple[str, str]],
+    ) -> str:
+        """Deterministic key over rule selection + every file's content."""
+        digest = hashlib.sha256()
+        digest.update(CACHE_FORMAT.encode("utf-8"))
+        for name in sorted(rule_names):
+            digest.update(b"\x00rule\x00" + name.encode("utf-8"))
+        for display, source in sorted(files):
+            content = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            digest.update(b"\x00file\x00" + display.encode("utf-8"))
+            digest.update(b"\x00hash\x00" + content.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[LintResult]:
+        """Replay the cached result for ``key``, or None on miss."""
+        entry = self._entry_path(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            return None
+        try:
+            findings = [
+                Finding(
+                    rule=item["rule"],
+                    path=item["path"],
+                    line=item["line"],
+                    col=item["col"],
+                    message=item["message"],
+                )
+                for item in payload["findings"]
+            ]
+            files = list(payload["files"])
+            rules = list(payload["rules"])
+            suppressed = int(payload["suppressed"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return LintResult(
+            findings=findings,
+            files=files,
+            rules=rules,
+            suppressed=suppressed,
+            from_cache=True,
+        )
+
+    def store(self, key: str, result: LintResult) -> None:
+        """Persist ``result`` under ``key``; best-effort (never raises)."""
+        payload = {
+            "format": CACHE_FORMAT,
+            "findings": [finding.to_dict() for finding in result.findings],
+            "files": list(result.files),
+            "rules": list(result.rules),
+            "suppressed": result.suppressed,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            entry = self._entry_path(key)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(entry)
+            self._prune(keep=entry)
+        except OSError:
+            return
+
+    def _prune(self, keep: Path) -> None:
+        entries: List[Path] = [
+            path
+            for path in self.root.glob("*.json")
+            if path != keep
+        ]
+        entries.sort(key=lambda path: (path.stat().st_mtime, path.name))
+        for stale in entries[: max(0, len(entries) - (_MAX_ENTRIES - 1))]:
+            try:
+                stale.unlink()
+            except OSError:
+                continue

@@ -3,15 +3,31 @@
 Kept separate from :mod:`repro.cli` so the argparse wiring there stays
 one-line-per-command; exit codes follow linter convention: 0 clean,
 1 findings, 2 usage errors (unknown rule, missing path).
+
+``--program`` adds the whole-program pass (nondeterminism taint,
+schema-literal consistency); ``--changed-only`` replays the previous
+result from ``.lint_cache/`` when no file content changed;
+``--format sarif`` emits SARIF 2.1.0 for code-scanning upload, and
+``--out`` writes the chosen format to a file in addition to stdout
+text output.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
+from typing import List, Optional
 
-from repro.lint.core import LintResult, run_lint
-from repro.lint.registry import all_rules, get_rules, rule_descriptions
-from repro.lint.reporters import render_json, render_text
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.lint.core import LintResult, ProgramRule, run_lint
+from repro.lint.registry import (
+    all_program_rules,
+    all_rules,
+    get_program_rules,
+    get_rules,
+    rule_descriptions,
+)
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 __all__ = ["DEFAULT_PATHS", "lint_command"]
 
@@ -28,19 +44,57 @@ def _render_rule_list() -> str:
     )
 
 
+def _render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "sarif":
+        return render_sarif(result)
+    return render_text(result)
+
+
 def lint_command(args: argparse.Namespace) -> int:
     """Implementation of the ``lint`` subcommand (see repro.cli)."""
     if args.list_rules:
         print(_render_rule_list())
         return 0
+    fmt = getattr(args, "format", None) or ("json" if args.json else "text")
     try:
-        rules = get_rules(args.rule) if args.rule else all_rules()
+        if args.rule:
+            rules = get_rules(args.rule)
+            program_rules: List[ProgramRule] = get_program_rules(args.rule)
+            if program_rules and not args.program:
+                raise ValueError(
+                    "rule(s) "
+                    + ", ".join(rule.name for rule in program_rules)
+                    + " need the whole-program pass; pass --program"
+                )
+        else:
+            rules = all_rules()
+            program_rules = all_program_rules() if args.program else []
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    if not args.program:
+        program_rules = []
+    cache: Optional[LintCache] = None
+    if getattr(args, "changed_only", False):
+        cache = LintCache(Path(DEFAULT_CACHE_DIR))
     paths = args.paths or list(DEFAULT_PATHS)
     try:
-        result: LintResult = run_lint(paths, rules)
+        result: LintResult = run_lint(
+            paths, rules, program_rules=program_rules, cache=cache
+        )
     except FileNotFoundError as exc:
         raise SystemExit(f"error: {exc}")
-    print(render_json(result) if args.json else render_text(result))
+    rendered = _render(result, fmt)
+    out = getattr(args, "out", None)
+    if out:
+        Path(out).write_text(rendered + "\n", encoding="utf-8")
+        summary = render_text(result)
+        if result.from_cache:
+            summary += " [cached]"
+        print(summary)
+    else:
+        if fmt == "text" and result.from_cache:
+            rendered += " [cached]"
+        print(rendered)
     return 0 if result.clean else 1

@@ -1,15 +1,27 @@
 """AST visitor engine: files in, :class:`Finding` objects out.
 
-One :func:`ast.walk` pass per file dispatches nodes to every rule that
-registered interest in that node type (``Rule.node_types``), so adding a
-rule never adds a file-parse or tree-walk.  Rules are plain objects with
-per-file hooks (``start_file``/``visit``/``finish_file``) and one
-run-wide hook (``finish_run``) for cross-file invariants such as
-:class:`~repro.lint.rules.config.ConfigFlagCoverage`.
+Two passes share one parse of every file:
+
+* the **per-file pass** — one :func:`ast.walk` per file dispatches
+  nodes to every rule that registered interest in that node type
+  (``Rule.node_types``), so adding a rule never adds a file-parse or
+  tree-walk.  Rules are plain objects with per-file hooks
+  (``start_file``/``visit``/``finish_file``) and one run-wide hook
+  (``finish_run``) for cross-file invariants such as
+  :class:`~repro.lint.rules.config.ConfigFlagCoverage`;
+* the **program pass** — when program rules are supplied, the already-
+  parsed trees are assembled into a
+  :class:`~repro.lint.program.symbols.Program` (symbol table, import
+  resolution, call graph) and each :class:`ProgramRule` checks the
+  whole project at once (nondeterminism taint, schema-literal
+  consistency).
 
 Suppression comments (see :mod:`repro.lint.suppressions`) are applied
-uniformly by the engine after all rules have reported, so rules never
-need to know about them.
+uniformly by the engine after all rules of both passes have reported,
+so rules never need to know about them.  An optional
+:class:`~repro.lint.cache.LintCache` short-circuits the entire run when
+no file content changed (the cache key hashes every file's content
+plus the rule selection).
 """
 
 from __future__ import annotations
@@ -17,11 +29,32 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.lint.suppressions import SuppressionIndex
 
-__all__ = ["FileContext", "Finding", "LintResult", "Rule", "run_lint"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.cache import LintCache
+    from repro.lint.program.symbols import Program
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "ProgramRule",
+    "Rule",
+    "run_lint",
+]
 
 #: Pseudo-rule name attached to findings for unparseable files.
 PARSE_ERROR_RULE = "SyntaxError"
@@ -116,6 +149,24 @@ class Rule:
         return ()
 
 
+class ProgramRule:
+    """Base class for whole-program rules; register with ``@register_program``.
+
+    A program rule sees the assembled
+    :class:`~repro.lint.program.symbols.Program` — symbol table, module
+    resolution, call graph — instead of one file at a time.  A fresh
+    instance is created per run.  Findings are suppressible with the
+    same ``# lint: disable=`` comments as per-file rules.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, program: "Program") -> Iterable[Finding]:
+        """Inspect the whole program; return findings."""
+        return ()
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run (post-suppression)."""
@@ -124,6 +175,8 @@ class LintResult:
     files: List[str] = field(default_factory=list)
     rules: List[str] = field(default_factory=list)
     suppressed: int = 0
+    #: True when the whole result was replayed from the on-disk cache.
+    from_cache: bool = False
 
     @property
     def clean(self) -> bool:
@@ -165,17 +218,42 @@ def _display_path(path: Path) -> str:
 def run_lint(
     paths: Sequence[Union[str, Path]],
     rules: Optional[Sequence[Rule]] = None,
+    program_rules: Optional[Sequence[ProgramRule]] = None,
+    cache: Optional["LintCache"] = None,
+    baseline_dirs: Optional[Sequence[Path]] = None,
 ) -> LintResult:
-    """Lint every ``*.py`` file under ``paths`` with ``rules``.
+    """Lint every ``*.py`` file under ``paths``.
 
-    ``rules`` defaults to one fresh instance of every registered rule.
-    Raises :class:`FileNotFoundError` for paths that do not exist.
+    ``rules`` defaults to one fresh instance of every registered
+    per-file rule.  ``program_rules`` (default: none) additionally runs
+    the whole-program pass over the parsed trees.  ``cache`` replays
+    the previous result when no file content (and no rule selection)
+    changed.  Raises :class:`FileNotFoundError` for paths that do not
+    exist.
     """
     if rules is None:
         from repro.lint.registry import all_rules
 
         rules = all_rules()
     rule_list = list(rules)
+    program_list = list(program_rules) if program_rules else []
+
+    sources: List[Tuple[Path, str, str]] = []
+    for path in _iter_python_files(paths):
+        sources.append(
+            (path, _display_path(path), path.read_text(encoding="utf-8"))
+        )
+
+    cache_key: Optional[str] = None
+    if cache is not None:
+        cache_key = cache.run_key(
+            rule_names=[rule.name for rule in rule_list]
+            + [rule.name for rule in program_list],
+            files=[(display, source) for _, display, source in sources],
+        )
+        cached = cache.load(cache_key)
+        if cached is not None:
+            return cached
 
     by_type: Dict[Type[ast.AST], List[Rule]] = {}
     for rule in rule_list:
@@ -185,11 +263,10 @@ def run_lint(
     findings: List[Finding] = []
     suppressions: Dict[str, SuppressionIndex] = {}
     linted: List[str] = []
+    parsed: List[Tuple[str, ast.Module]] = []
 
-    for path in _iter_python_files(paths):
-        display = _display_path(path)
+    for path, display, source in sources:
         linted.append(display)
-        source = path.read_text(encoding="utf-8")
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -205,6 +282,7 @@ def run_lint(
             continue
         ctx = FileContext(path, display, tree, source)
         suppressions[display] = ctx.suppressions
+        parsed.append((display, tree))
         for rule in rule_list:
             rule.start_file(ctx)
         for node in ast.walk(tree):
@@ -218,6 +296,13 @@ def run_lint(
     for rule in rule_list:
         findings.extend(rule.finish_run())
 
+    if program_list and parsed:
+        from repro.lint.program.symbols import Program
+
+        program = Program.build(parsed, baseline_dirs=baseline_dirs)
+        for program_rule in program_list:
+            findings.extend(program_rule.check(program))
+
     kept: List[Finding] = []
     suppressed = 0
     for item in findings:
@@ -227,9 +312,13 @@ def run_lint(
         else:
             kept.append(item)
     kept.sort(key=Finding.sort_key)
-    return LintResult(
+    result = LintResult(
         findings=kept,
         files=linted,
-        rules=[rule.name for rule in rule_list],
+        rules=[rule.name for rule in rule_list]
+        + [rule.name for rule in program_list],
         suppressed=suppressed,
     )
+    if cache is not None and cache_key is not None:
+        cache.store(cache_key, result)
+    return result

@@ -1,0 +1,127 @@
+"""Call-graph builder over the project symbol table.
+
+Nodes are project function qualnames (``module.func`` /
+``module.Class.method``); every call site inside a project function
+becomes an edge to either another project function (resolved through
+imports, module attribute access and ``self.``) or an external dotted
+name (``time.perf_counter``).  Unresolvable targets — attribute calls
+on arbitrary objects — are recorded with their terminal attribute name
+so pattern-based analyses (the taint engine's ``.items()`` handling)
+can still see them.
+
+The graph is deliberately context-insensitive: one node per function,
+edges unioned over all call sites.  That is exactly the precision the
+taint fixpoint needs (may-reach over return values) and keeps the
+build a single pass over every tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.program.symbols import FunctionInfo, Program, Resolution
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call site inside a project function."""
+
+    caller: str  #: qualname of the enclosing project function
+    kind: str  #: ``project`` | ``external`` | ``unknown``
+    target: str  #: qualname, dotted external name, or attribute name
+    path: str
+    line: int
+
+
+class CallGraph:
+    """Directed call graph with def/use lookups."""
+
+    def __init__(self) -> None:
+        self.sites: List[CallSite] = []
+        self._callees: Dict[str, Set[str]] = {}
+        self._callers: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, program: Program) -> "CallGraph":
+        graph = cls()
+        for qualname in sorted(program.functions):
+            info = program.functions[qualname]
+            module = program.modules[info.module]
+            for call in _calls_in(info):
+                resolved = program.resolve_call(
+                    module, call, class_name=info.class_name
+                )
+                site = CallSite(
+                    caller=qualname,
+                    kind=resolved.kind,
+                    target=resolved.name,
+                    path=info.path,
+                    line=getattr(call, "lineno", info.lineno),
+                )
+                graph.sites.append(site)
+                if resolved.kind == "project":
+                    graph._callees.setdefault(qualname, set()).add(
+                        resolved.name
+                    )
+                    graph._callers.setdefault(resolved.name, set()).add(
+                        qualname
+                    )
+        return graph
+
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> List[str]:
+        """Project functions ``qualname`` may call, sorted."""
+        return sorted(self._callees.get(qualname, ()))
+
+    def callers(self, qualname: str) -> List[str]:
+        """Project functions that may call ``qualname``, sorted."""
+        return sorted(self._callers.get(qualname, ()))
+
+    def external_targets(self, qualname: str) -> List[str]:
+        """External dotted names ``qualname`` calls, sorted."""
+        return sorted(
+            {
+                site.target
+                for site in self.sites
+                if site.caller == qualname and site.kind == "external"
+            }
+        )
+
+    def reachable_from(self, qualname: str) -> Set[str]:
+        """Transitive project callees of ``qualname`` (excl. itself)."""
+        seen: Set[str] = set()
+        stack = self.callees(qualname)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._callees.get(current, ()))
+        return seen
+
+
+def _calls_in(info: FunctionInfo) -> Iterator[ast.Call]:
+    """Call nodes lexically inside ``info``, excluding nested defs' bodies.
+
+    Nested functions are their own nodes in ``program.functions`` only
+    when defined at module/class level; calls inside closures still
+    execute under the enclosing function, so they are attributed to it.
+    """
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def resolve_use(
+    program: Program, module_name: str, chain: Tuple[str, ...]
+) -> Optional[Resolution]:
+    """Public def/use helper: resolve a dotted use in a named module."""
+    module = program.modules.get(module_name)
+    if module is None:
+        return None
+    return program.resolve_dotted(module, list(chain))

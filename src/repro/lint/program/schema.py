@@ -1,0 +1,381 @@
+"""SchemaLiteralConsistency: every ``repro.*/v*`` id agrees project-wide.
+
+The repo speaks several versioned report schemas (``repro.lint/v1``,
+``repro.sweep/v1.1``, ``repro.obs.run_report/v1.1``, ...).  Each one
+has a single *home*: the module that declares the current id in a
+module-level ``*SCHEMA*``/``*VERSION*`` constant (plus, optionally, an
+``ACCEPTED_*`` tuple of still-readable older ids).  Version drift —
+a producer stamping ``v2`` while the validator still accepts ``v1`` —
+ships reports nothing can read back, and is invisible to per-file
+linting because producer and validator live in different modules.
+
+On top of the program symbol table this rule checks:
+
+* **drift** — every literal occurrence of a family's id, anywhere in
+  the project, is one of the home's accepted versions;
+* **undeclared families** — a schema id used with no declaring
+  constant anywhere (so producer and validator cannot share a
+  definition);
+* **multiple homes** — one family declared in two modules;
+* **validators with no producer / producers with no validator** —
+  uses of the home constant (and raw literals) are classified by the
+  enclosing function: ``validate*`` functions are validators,
+  everything else produces;
+* **committed baselines/fixtures** — every ``"schema"`` value in
+  ``benchmarks/baselines/*.json`` must be accepted by its family's
+  validator (families without a home in the scanned tree are skipped,
+  so partial-tree runs cannot false-positive).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding, ProgramRule
+from repro.lint.program.symbols import ModuleTable, Program
+from repro.lint.registry import register_program
+
+__all__ = ["SchemaLiteralConsistency", "SCHEMA_ID_PATTERN"]
+
+#: Full-match pattern for versioned schema ids.
+SCHEMA_ID_PATTERN = re.compile(
+    r"repro\.[a-z0-9_]+(?:\.[a-z0-9_]+)*/v[0-9]+(?:\.[0-9]+)*"
+)
+
+#: Module-level constant names that declare a family's current id.
+_DECLARING = ("SCHEMA", "VERSION")
+#: Module-level constant names that extend the accepted set.
+_ACCEPTING = ("ACCEPTED",)
+
+
+def _family(schema_id: str) -> str:
+    return schema_id.split("/", 1)[0]
+
+
+@dataclass
+class _Occurrence:
+    value: str
+    path: str
+    line: int
+    col: int
+    function: Optional[str]  #: enclosing function qualname, if any
+
+
+@dataclass
+class _Family:
+    name: str
+    home_module: Optional[str] = None
+    home_path: Optional[str] = None
+    home_line: int = 1
+    current: Set[str] = field(default_factory=set)
+    accepted: Set[str] = field(default_factory=set)
+    homes: List[str] = field(default_factory=list)
+    validator_uses: List[_Occurrence] = field(default_factory=list)
+    producer_uses: List[_Occurrence] = field(default_factory=list)
+
+
+def _is_validator_name(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    terminal = name.rsplit(".", 1)[-1]
+    return terminal.startswith("validate") or terminal.endswith("validator")
+
+
+def _literals_in(expr: ast.expr) -> Iterable[ast.Constant]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if SCHEMA_ID_PATTERN.fullmatch(node.value):
+                yield node
+
+
+class _Collector:
+    """Scan one program for schema declarations and uses."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.families: Dict[str, _Family] = {}
+
+    def family(self, name: str) -> _Family:
+        return self.families.setdefault(name, _Family(name=name))
+
+    # ------------------------------------------------------------------
+    def collect(self) -> None:
+        for module_name in sorted(self.program.modules):
+            module = self.program.modules[module_name]
+            self._collect_declarations(module)
+        for module_name in sorted(self.program.modules):
+            module = self.program.modules[module_name]
+            self._collect_uses(module)
+
+    def _collect_declarations(self, module: ModuleTable) -> None:
+        for const_name in sorted(module.constants):
+            expr = module.constants[const_name]
+            literals = list(_literals_in(expr))
+            if not literals:
+                continue
+            upper = const_name.upper()
+            declaring = any(tag in upper for tag in _DECLARING) and not any(
+                tag in upper for tag in _ACCEPTING
+            )
+            accepting = any(tag in upper for tag in _ACCEPTING)
+            for literal in literals:
+                fam = self.family(_family(literal.value))
+                if declaring:
+                    fam.current.add(literal.value)
+                    fam.accepted.add(literal.value)
+                    if module.name not in fam.homes:
+                        fam.homes.append(module.name)
+                    if fam.home_module is None:
+                        fam.home_module = module.name
+                        fam.home_path = module.path
+                        fam.home_line = literal.lineno
+                elif accepting:
+                    fam.accepted.add(literal.value)
+
+    # ------------------------------------------------------------------
+    def _collect_uses(self, module: ModuleTable) -> None:
+        enclosing = _FunctionIndex(module)
+        # Raw literal occurrences.
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and SCHEMA_ID_PATTERN.fullmatch(node.value)
+            ):
+                continue
+            occurrence = _Occurrence(
+                value=node.value,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                function=enclosing.lookup(node.lineno),
+            )
+            self._classify(occurrence)
+        # Name loads of home constants (local or imported).
+        aliases = self._constant_aliases(module)
+        if not aliases:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in aliases
+            ):
+                value = aliases[node.id]
+                occurrence = _Occurrence(
+                    value=value,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    function=enclosing.lookup(node.lineno),
+                )
+                self._classify(occurrence, literal=False)
+
+    def _classify(
+        self, occurrence: _Occurrence, literal: bool = True
+    ) -> None:
+        fam = self.family(_family(occurrence.value))
+        if occurrence.function is None:
+            return  # declarations/constants handled above
+        if _is_validator_name(occurrence.function):
+            fam.validator_uses.append(occurrence)
+        else:
+            fam.producer_uses.append(occurrence)
+
+    def _constant_aliases(self, module: ModuleTable) -> Dict[str, str]:
+        """Local names that resolve to a declaring schema constant."""
+        aliases: Dict[str, str] = {}
+        for const_name in sorted(module.constants):
+            upper = const_name.upper()
+            if not any(tag in upper for tag in _DECLARING):
+                continue
+            literals = list(_literals_in(module.constants[const_name]))
+            if len(literals) == 1:
+                aliases[const_name] = literals[0].value
+        for local in sorted(module.imports):
+            target = module.imports[local]
+            if target.symbol is None:
+                continue
+            upper = target.symbol.upper()
+            if not any(tag in upper for tag in _DECLARING):
+                continue
+            source = self.program.module_named(target.module)
+            if source is None or target.symbol not in source.constants:
+                continue
+            literals = list(_literals_in(source.constants[target.symbol]))
+            if len(literals) == 1:
+                aliases[local] = literals[0].value
+        return aliases
+
+
+class _FunctionIndex:
+    """Line -> enclosing function qualname for one module."""
+
+    def __init__(self, module: ModuleTable) -> None:
+        self.ranges: List[Tuple[int, int, str]] = []
+        for name in sorted(module.functions):
+            info = module.functions[name]
+            end = getattr(info.node, "end_lineno", info.lineno)
+            self.ranges.append((info.lineno, end, info.qualname))
+        for class_name in sorted(module.classes):
+            for method in sorted(module.classes[class_name].methods):
+                info = module.classes[class_name].methods[method]
+                end = getattr(info.node, "end_lineno", info.lineno)
+                self.ranges.append((info.lineno, end, info.qualname))
+
+    def lookup(self, line: int) -> Optional[str]:
+        best: Optional[Tuple[int, str]] = None
+        for start, end, qualname in self.ranges:
+            if start <= line <= end:
+                if best is None or start > best[0]:
+                    best = (start, qualname)
+        return best[1] if best else None
+
+
+@register_program
+class SchemaLiteralConsistency(ProgramRule):
+    name = "SchemaLiteralConsistency"
+    description = (
+        "every repro.*/v* schema id matches its declaring constant's "
+        "accepted versions, has both a producer and a validator, and "
+        "agrees with the committed baselines/fixtures"
+    )
+
+    def check(self, program: Program) -> Iterable[Finding]:
+        collector = _Collector(program)
+        collector.collect()
+        findings: List[Finding] = []
+        for name in sorted(collector.families):
+            findings.extend(self._check_family(collector.families[name]))
+        findings.extend(self._check_baselines(program, collector))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_family(self, fam: _Family) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        uses = sorted(
+            fam.validator_uses + fam.producer_uses,
+            key=lambda o: (o.path, o.line, o.col),
+        )
+        if fam.home_module is None:
+            if uses:
+                first = uses[0]
+                findings.append(
+                    self._finding(
+                        first.path,
+                        first.line,
+                        first.col,
+                        f"schema id {first.value!r} has no declaring "
+                        "module-level *SCHEMA*/*VERSION* constant anywhere "
+                        "in the project — hoist it so producers and "
+                        "validators share one definition",
+                    )
+                )
+            return findings
+        if len(fam.homes) > 1:
+            findings.append(
+                self._finding(
+                    fam.home_path or "",
+                    fam.home_line,
+                    1,
+                    f"schema family {fam.name!r} is declared in multiple "
+                    f"modules ({', '.join(fam.homes)}) — one module must "
+                    "own the version",
+                )
+            )
+        for occurrence in uses:
+            if occurrence.value not in fam.accepted:
+                accepted = ", ".join(sorted(fam.accepted))
+                findings.append(
+                    self._finding(
+                        occurrence.path,
+                        occurrence.line,
+                        occurrence.col,
+                        f"schema id {occurrence.value!r} drifts from "
+                        f"{fam.name}'s declared versions ({accepted}) — "
+                        "bump the declaring constant and its validator "
+                        "together, never a lone literal",
+                    )
+                )
+        if fam.validator_uses and not fam.producer_uses:
+            first = min(
+                fam.validator_uses, key=lambda o: (o.path, o.line, o.col)
+            )
+            findings.append(
+                self._finding(
+                    first.path,
+                    first.line,
+                    first.col,
+                    f"schema family {fam.name!r} has a validator but no "
+                    "producer in the scanned tree — dead validators drift "
+                    "silently from the payloads they claim to gate",
+                )
+            )
+        if fam.producer_uses and not fam.validator_uses:
+            findings.append(
+                self._finding(
+                    fam.home_path or "",
+                    fam.home_line,
+                    1,
+                    f"schema family {fam.name!r} has producers but no "
+                    "validate* function referencing it — emitted payloads "
+                    "are ungated",
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_baselines(
+        self, program: Program, collector: _Collector
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for directory in sorted(program.baseline_dirs, key=str):
+            for path in sorted(directory.rglob("*.json")):
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    continue
+                for schema_id in sorted(_schema_values(payload)):
+                    if not SCHEMA_ID_PATTERN.fullmatch(schema_id):
+                        continue
+                    fam = collector.families.get(_family(schema_id))
+                    if fam is None or fam.home_module is None:
+                        continue  # partial-tree run: cannot judge
+                    if schema_id not in fam.accepted:
+                        accepted = ", ".join(sorted(fam.accepted))
+                        findings.append(
+                            self._finding(
+                                fam.home_path or "",
+                                fam.home_line,
+                                1,
+                                f"committed baseline {path.as_posix()} "
+                                f"carries {schema_id!r}, which "
+                                f"{fam.name}'s validator no longer "
+                                f"accepts ({accepted}) — regenerate the "
+                                "baseline or widen ACCEPTED_SCHEMA_IDS",
+                            )
+                        )
+        return findings
+
+    def _finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name, path=path, line=line, col=col, message=message
+        )
+
+
+def _schema_values(payload: object) -> Iterable[str]:
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == "schema" and isinstance(value, str):
+                yield value
+            else:
+                yield from _schema_values(value)
+    elif isinstance(payload, list):
+        for item in payload:
+            yield from _schema_values(item)

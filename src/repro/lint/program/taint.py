@@ -1,0 +1,643 @@
+"""NondeterminismFlow: interprocedural nondeterminism taint analysis.
+
+Every number in a report is supposed to be a pure function of
+``(params, config, cache_bytes)`` — that is what makes ``--jobs N``
+sweeps, telemetry merges and fingerprints bit-identical to serial runs.
+This engine proves the property statically instead of re-running
+workloads in CI:
+
+**Sources** (values that differ between runs or processes):
+
+* wall clocks — ``time.time``/``perf_counter``/``monotonic`` (and
+  ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
+* entropy — ``random.*``, ``os.urandom``, ``secrets.*``,
+  ``uuid.uuid1``/``uuid4``, ``numpy.random.*``;
+* process identity — ``os.getpid``/``getppid``,
+  ``threading.get_ident``, ``id()``;
+* filesystem enumeration order — ``os.listdir``/``scandir``,
+  ``glob.glob``/``iglob``, ``Path.iterdir``/``glob``/``rglob``;
+* hash-seed / insertion order — iterating ``set`` displays,
+  ``set()``/``frozenset()`` results, and ``.items()``/``.keys()``/
+  ``.values()`` views (dict order is deterministic *in* a process but
+  not across worker processes that built the dict differently — and
+  float accumulation over any unordered collection is order-dependent,
+  so ``sum()`` deliberately preserves order taint);
+* completion order — ``concurrent.futures.as_completed``.
+
+**Sanitizers**: ``sorted(...)`` clears order taints;
+``len``/``min``/``max``/``any``/``all`` collapse order away;
+``json.dumps(..., sort_keys=True)`` clears dict-order;
+``strip_volatile(...)`` clears everything (it *is* the canonical
+volatile-field strip).
+
+**Allowlisted channels**: functions defined in
+:data:`~repro.lint.program.scopes.VOLATILE_CHANNEL_FILES` return clean
+values (resource sampling, event envelopes, span clocks — all stripped
+before any determinism comparison), and payload keys in
+:data:`~repro.lint.program.scopes.ALLOWED_PAYLOAD_KEYS` may carry
+tainted values (``strip_volatile`` and the CI parity gates exclude
+them).
+
+**Sinks**: report-payload dict displays (any dict literal with a
+``"schema"`` key), ``hashlib.*`` fingerprint inputs,
+``Memo.get_or_compute`` keys, and baseline comparisons
+(``compare_reports``/``diff_run_reports``).
+
+Propagation is summary-based and context-insensitive: a function's
+summary is the set of taint kinds that may reach its return value;
+summaries propagate along the :class:`~repro.lint.program.callgraph.CallGraph`
+to a fixpoint (worklist over callers).  Argument taint is approximated
+at the call site — the call's result inherits its arguments' taint —
+rather than re-analysed inside the callee; return-value flow is exact
+to the engine's lattice.  Each finding carries a witness chain naming
+the originating source call and the functions it travelled through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding, ProgramRule
+from repro.lint.program.callgraph import CallGraph
+from repro.lint.program.scopes import (
+    ALLOWED_PAYLOAD_KEYS,
+    VOLATILE_CHANNEL_FILES,
+)
+from repro.lint.program.symbols import FunctionInfo, ModuleTable, Program
+from repro.lint.registry import register_program
+
+__all__ = ["NondeterminismFlow", "TaintEngine"]
+
+# Taint kinds --------------------------------------------------------------
+TIME = "time"
+RANDOM = "random"
+PID = "process-identity"
+FS_ORDER = "fs-order"
+SET_ORDER = "set-order"
+DICT_ORDER = "dict-order"
+COMPLETION_ORDER = "completion-order"
+
+#: Kinds that ``sorted()`` (a canonical order) neutralises.
+ORDER_KINDS = frozenset({FS_ORDER, SET_ORDER, DICT_ORDER, COMPLETION_ORDER})
+
+#: Witness: where the taint came from, innermost source first.
+Witness = Tuple[str, ...]
+#: Taint value: kind -> witness chain (deterministically minimal).
+Taint = Dict[str, Witness]
+
+
+def _merge(into: Taint, other: Taint) -> Taint:
+    for kind, witness in other.items():
+        current = into.get(kind)
+        if current is None or witness < current:
+            into[kind] = witness
+    return into
+
+
+def _union(*taints: Taint) -> Taint:
+    out: Taint = {}
+    for taint in taints:
+        _merge(out, taint)
+    return out
+
+
+def _without(taint: Taint, kinds: frozenset) -> Taint:
+    return {k: w for k, w in taint.items() if k not in kinds}
+
+
+# Source tables ------------------------------------------------------------
+_EXACT_SOURCES: Dict[str, str] = {
+    "time.time": TIME,
+    "time.time_ns": TIME,
+    "time.perf_counter": TIME,
+    "time.perf_counter_ns": TIME,
+    "time.monotonic": TIME,
+    "time.monotonic_ns": TIME,
+    "time.process_time": TIME,
+    "time.process_time_ns": TIME,
+    "time.thread_time": TIME,
+    "os.urandom": RANDOM,
+    "os.getpid": PID,
+    "os.getppid": PID,
+    "threading.get_ident": PID,
+    "uuid.uuid1": RANDOM,
+    "uuid.uuid4": RANDOM,
+    "os.listdir": FS_ORDER,
+    "os.scandir": FS_ORDER,
+    "glob.glob": FS_ORDER,
+    "glob.iglob": FS_ORDER,
+    "concurrent.futures.as_completed": COMPLETION_ORDER,
+    "as_completed": COMPLETION_ORDER,
+    "id": PID,
+    "set": SET_ORDER,
+    "frozenset": SET_ORDER,
+}
+_PREFIX_SOURCES: Tuple[Tuple[str, str], ...] = (
+    ("random.", RANDOM),
+    ("secrets.", RANDOM),
+    ("numpy.random.", RANDOM),
+)
+#: ``datetime``-flavoured constructors matched by terminal attribute.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Attribute calls that are sources regardless of the receiver's type.
+_ATTR_SOURCES: Dict[str, str] = {
+    "iterdir": FS_ORDER,
+    "glob": FS_ORDER,
+    "rglob": FS_ORDER,
+    "scandir": FS_ORDER,
+    "listdir": FS_ORDER,
+    "items": DICT_ORDER,
+    "keys": DICT_ORDER,
+    "values": DICT_ORDER,
+    "as_completed": COMPLETION_ORDER,
+}
+
+#: Builtins whose result does not depend on argument order.
+_ORDER_COLLAPSING = frozenset({"len", "min", "max", "any", "all", "sorted"})
+
+#: Receiver-mutating methods: taint the receiver variable with the args.
+_MUTATORS = frozenset(
+    {"append", "add", "extend", "insert", "update", "setdefault", "push"}
+)
+
+#: Project/external terminal names acting as baseline-comparison sinks.
+_COMPARISON_SINKS = frozenset({"compare_reports", "diff_run_reports"})
+
+
+def _external_source_kind(name: str) -> Optional[str]:
+    kind = _EXACT_SOURCES.get(name)
+    if kind is not None:
+        return kind
+    for prefix, prefixed_kind in _PREFIX_SOURCES:
+        if name.startswith(prefix):
+            return prefixed_kind
+    head, _, tail = name.rpartition(".")
+    if tail in _DATETIME_ATTRS and ("datetime" in head or head == "date"):
+        return TIME
+    return None
+
+
+class TaintEngine:
+    """Whole-program taint fixpoint + sink reporting."""
+
+    def __init__(self, program: Program, graph: Optional[CallGraph] = None):
+        self.program = program
+        self.graph = graph if graph is not None else CallGraph.build(program)
+        self.summaries: Dict[str, Taint] = {
+            q: {} for q in program.functions
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        """Compute summaries to fixpoint, then collect sink findings."""
+        pending: List[str] = sorted(self.program.functions)
+        queued: Set[str] = set(pending)
+        guard = 0
+        limit = max(64, 16 * len(pending) + 64)
+        while pending:
+            guard += 1
+            if guard > limit:  # pragma: no cover - lattice is finite
+                break
+            qualname = pending.pop(0)
+            queued.discard(qualname)
+            summary, _ = self._analyze(qualname)
+            if summary != self.summaries[qualname]:
+                self.summaries[qualname] = summary
+                for caller in self.graph.callers(qualname):
+                    if caller not in queued:
+                        pending.append(caller)
+                        queued.add(caller)
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for qualname in sorted(self.program.functions):
+            info = self.program.functions[qualname]
+            if _in_volatile_channel(info.path):
+                continue
+            for finding in self._analyze(qualname, collect=True)[1]:
+                key = (finding.path, finding.line, finding.col, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(finding)
+        return findings
+
+    def summary_of(self, qualname: str) -> Taint:
+        return dict(self.summaries.get(qualname, {}))
+
+    # ------------------------------------------------------------------
+    def _analyze(
+        self, qualname: str, collect: bool = False
+    ) -> Tuple[Taint, List[Finding]]:
+        info = self.program.functions[qualname]
+        module = self.program.modules[info.module]
+        analyzer = _FunctionAnalyzer(self, info, module, collect=collect)
+        summary = analyzer.run()
+        return summary, analyzer.findings
+
+
+def _in_volatile_channel(path: str) -> bool:
+    posix = path.replace("\\", "/")
+    return any(posix.endswith(tail) for tail in VOLATILE_CHANNEL_FILES)
+
+
+class _FunctionAnalyzer:
+    """Intraprocedural pass: name-level env, two passes for loops."""
+
+    def __init__(
+        self,
+        engine: TaintEngine,
+        info: FunctionInfo,
+        module: ModuleTable,
+        collect: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.info = info
+        self.module = module
+        self.collect = collect
+        self.env: Dict[str, Taint] = {}
+        self.returns: Taint = {}
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> Taint:
+        body = getattr(self.info.node, "body", [])
+        # First pass primes loop-carried taint; findings only on the
+        # second so each sink reports once.
+        saved, self.collect = self.collect, False
+        for stmt in body:
+            self._exec(stmt)
+        self.collect = saved
+        self.returns = {}
+        for stmt in body:
+            self._exec(stmt)
+        return dict(self.returns)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _exec(self, stmt: ast.AST) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs execute later; not this body's flow
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                _merge(self.returns, self._eval(stmt.value))
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                existing = self.env.get(stmt.target.id, {})
+                self.env[stmt.target.id] = _union(existing, taint)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self._eval(stmt.iter))
+            for inner in stmt.body + stmt.orelse:
+                self._exec(inner)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            for inner in stmt.body:
+                self._exec(inner)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            for inner in stmt.body + stmt.orelse:
+                self._exec(inner)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            for inner in stmt.body + stmt.orelse:
+                self._exec(inner)
+            return
+        if isinstance(stmt, ast.Try):
+            for inner in stmt.body:
+                self._exec(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._exec(inner)
+            for inner in stmt.orelse + stmt.finalbody:
+                self._exec(inner)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return
+        # Pass/Break/Continue/Import/Global/Nonlocal/Delete: no flow.
+
+    def _bind(self, target: ast.AST, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dict(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        elif isinstance(target, ast.Subscript):
+            # ``container[key] = tainted`` taints the container var.
+            base = target.value
+            if isinstance(base, ast.Name):
+                existing = self.env.get(base.id, {})
+                self.env[base.id] = _union(existing, taint)
+        # Attribute targets (obj.field = x) are out of the name lattice.
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node: ast.AST) -> Taint:
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        if isinstance(node, ast.Constant):
+            return {}
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Dict):
+            return self._eval_dict(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return _union(
+                self._eval_children(node),
+                {SET_ORDER: (self._site("set display"),)},
+            )
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            comp_taint: Taint = {}
+            for comp in node.generators:
+                iter_taint = self._eval(comp.iter)
+                self._bind(comp.target, iter_taint)
+                _merge(comp_taint, iter_taint)
+                for cond in comp.ifs:
+                    self._eval(cond)
+            if isinstance(node, ast.DictComp):
+                _merge(comp_taint, self._eval(node.key))
+                _merge(comp_taint, self._eval(node.value))
+            else:
+                _merge(comp_taint, self._eval(node.elt))
+            return comp_taint
+        if isinstance(node, ast.Lambda):
+            return {}
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, (ast.Await, ast.Starred)):
+            return self._eval(node.value)
+        if isinstance(node, ast.IfExp):
+            return _union(
+                self._eval(node.test),
+                self._eval(node.body),
+                self._eval(node.orelse),
+            )
+        # BinOp / BoolOp / Compare / Subscript / JoinedStr / Tuple / List
+        # / FormattedValue / NamedExpr and anything else: union children.
+        return self._eval_children(node)
+
+    def _eval_children(self, node: ast.AST) -> Taint:
+        taint: Taint = {}
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind(node.target, value)
+            return value
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                _merge(taint, self._eval(child))
+        return taint
+
+    # ------------------------------------------------------------------
+    def _eval_dict(self, node: ast.Dict) -> Taint:
+        taint: Taint = {}
+        keys = [
+            key.value
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            else None
+            for key in node.keys
+        ]
+        is_payload = "schema" in keys
+        for key_node, key, value in zip(node.keys, keys, node.values):
+            if key_node is not None:
+                _merge(taint, self._eval(key_node))
+            value_taint = self._eval(value)
+            if (
+                is_payload
+                and value_taint
+                and (key is None or key not in ALLOWED_PAYLOAD_KEYS)
+            ):
+                label = f"`{key}`" if key is not None else "a dynamic key"
+                self._report(
+                    value,
+                    value_taint,
+                    f"report payload key {label}",
+                    "route it through an allowlisted volatile field "
+                    "(resources/provenance/wall_seconds), sort the "
+                    "iteration, or strip it with strip_volatile before "
+                    "it reaches the payload",
+                )
+            _merge(taint, value_taint)
+        return taint
+
+    def _eval_call(self, node: ast.Call) -> Taint:
+        arg_taints = [self._eval(arg) for arg in node.args]
+        kw_taints = {
+            kw.arg: self._eval(kw.value) for kw in node.keywords
+        }
+        args_union = _union(*arg_taints, *kw_taints.values())
+
+        resolved = self.engine.program.resolve_call(
+            self.module, node, class_name=self.info.class_name
+        )
+
+        if resolved.kind == "project":
+            return self._project_call(node, resolved.name, args_union)
+        if resolved.kind == "external":
+            return self._external_call(
+                node, resolved.name, arg_taints, kw_taints, args_union
+            )
+        return self._unknown_call(
+            node, resolved.name, arg_taints, args_union
+        )
+
+    def _project_call(
+        self, node: ast.Call, qualname: str, args_union: Taint
+    ) -> Taint:
+        info = self.engine.program.functions.get(qualname)
+        terminal = qualname.rsplit(".", 1)[-1]
+        if terminal == "strip_volatile":
+            return {}
+        if info is not None and _in_volatile_channel(info.path):
+            # Allowlisted volatile channel: whatever it returns is, by
+            # contract, confined to stripped/volatile fields.
+            return {}
+        if terminal in _COMPARISON_SINKS and args_union:
+            self._report(
+                node,
+                args_union,
+                f"baseline comparison `{terminal}(...)`",
+                "baseline gating must compare pure model output; strip "
+                "volatile fields first",
+            )
+        summary = self.engine.summaries.get(qualname, {})
+        extended = {
+            kind: witness + (f"via {qualname}",)
+            for kind, witness in summary.items()
+        }
+        return _union(extended, args_union)
+
+    def _external_call(
+        self,
+        node: ast.Call,
+        name: str,
+        arg_taints: List[Taint],
+        kw_taints: Dict[Optional[str], Taint],
+        args_union: Taint,
+    ) -> Taint:
+        terminal = name.rsplit(".", 1)[-1]
+        kind = _external_source_kind(name)
+        if kind is not None:
+            source = {kind: (self._site(f"{name}(...)", node),)}
+            if name in ("set", "frozenset"):
+                # The *contents* stay whatever they were; the container
+                # adds iteration-order dependence.
+                return _union(args_union, source)
+            return _union(source, _without(args_union, frozenset()))
+        if terminal == "sorted" or name == "sorted":
+            return _without(args_union, ORDER_KINDS)
+        if name in _ORDER_COLLAPSING:
+            return _without(args_union, ORDER_KINDS)
+        if terminal == "strip_volatile":
+            return {}
+        if name.startswith("hashlib."):
+            if args_union:
+                self._report(
+                    node,
+                    args_union,
+                    f"fingerprint input `{name}(...)`",
+                    "fingerprints must hash canonical, order-stable "
+                    "bytes; sort the iteration or strip volatile fields "
+                    "first",
+                )
+            return args_union
+        if name == "json.dumps" and any(
+            kw.arg == "sort_keys"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            return _without(args_union, frozenset({DICT_ORDER}))
+        if terminal in _COMPARISON_SINKS and args_union:
+            self._report(
+                node,
+                args_union,
+                f"baseline comparison `{terminal}(...)`",
+                "baseline gating must compare pure model output; strip "
+                "volatile fields first",
+            )
+        return args_union
+
+    def _unknown_call(
+        self,
+        node: ast.Call,
+        attr: str,
+        arg_taints: List[Taint],
+        args_union: Taint,
+    ) -> Taint:
+        receiver: Taint = {}
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value)
+        if attr == "strip_volatile":
+            return {}
+        if attr == "sort":  # list.sort() canonicalises in place
+            if isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                self.env[name] = _without(
+                    self.env.get(name, {}), ORDER_KINDS
+                )
+            return {}
+        if attr == "get_or_compute":
+            if arg_taints and arg_taints[0]:
+                self._report(
+                    node,
+                    arg_taints[0],
+                    "memo key `get_or_compute(...)`",
+                    "memo keys must be pure functions of (params, "
+                    "config, cache_bytes) or worker-local memoization "
+                    "diverges from serial evaluation",
+                )
+            return _union(receiver, args_union)
+        source_kind = _ATTR_SOURCES.get(attr)
+        if source_kind is not None:
+            source = {
+                source_kind: (self._site(f".{attr}()", node),)
+            }
+            return _union(receiver, args_union, source)
+        if attr in _COMPARISON_SINKS and args_union:
+            self._report(
+                node,
+                args_union,
+                f"baseline comparison `{attr}(...)`",
+                "baseline gating must compare pure model output; strip "
+                "volatile fields first",
+            )
+        if attr in _MUTATORS and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and args_union:
+                existing = self.env.get(base.id, {})
+                self.env[base.id] = _union(existing, args_union)
+        return _union(receiver, args_union)
+
+    # ------------------------------------------------------------------
+    def _site(self, what: str, node: Optional[ast.AST] = None) -> str:
+        line = getattr(node, "lineno", self.info.lineno) if node is not None \
+            else self.info.lineno
+        return f"{what} at {self.info.path}:{line}"
+
+    def _report(
+        self, node: ast.AST, taint: Taint, sink: str, advice: str
+    ) -> None:
+        if not self.collect:
+            return
+        kind = min(taint)
+        witness = taint[kind]
+        chain = "; ".join(witness)
+        self.findings.append(
+            Finding(
+                rule=NondeterminismFlow.name,
+                path=self.info.path,
+                line=getattr(node, "lineno", self.info.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=(
+                    f"nondeterminism ({kind}) flows into {sink} in "
+                    f"`{self.info.qualname}` — tainted by {chain} — "
+                    f"{advice}"
+                ),
+            )
+        )
+
+
+@register_program
+class NondeterminismFlow(ProgramRule):
+    name = "NondeterminismFlow"
+    description = (
+        "no nondeterminism source (clocks, entropy, pids, fs/set/dict "
+        "iteration order, as_completed) may reach a determinism sink "
+        "(report payloads, fingerprints, memo keys, baseline "
+        "comparisons) except via sorted()/strip_volatile or the "
+        "allowlisted volatile channels"
+    )
+
+    def check(self, program: Program) -> Iterable[Finding]:
+        return TaintEngine(program).run()

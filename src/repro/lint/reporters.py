@@ -15,15 +15,24 @@ from typing import Dict, List
 from repro.lint.core import Finding, LintResult
 
 __all__ = [
+    "SARIF_VERSION",
     "SCHEMA_VERSION",
     "load_findings",
     "render_json",
+    "render_sarif",
     "render_text",
     "report_dict",
+    "sarif_dict",
     "validate_report",
 ]
 
 SCHEMA_VERSION = "repro.lint/v1"
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
 
 _FINDING_FIELDS = {
     "rule": str,
@@ -62,6 +71,72 @@ def render_text(result: LintResult) -> str:
     else:
         lines.append(f"clean: {len(result.files)} file(s) linted{suffix}")
     return "\n".join(lines)
+
+
+def sarif_dict(result: LintResult) -> Dict[str, object]:
+    """SARIF 2.1.0 log for one lint run (one run, one result per finding).
+
+    Rule metadata comes from the registry so the SARIF ``rules`` array
+    carries descriptions for code-scanning UIs; rules that ran but are
+    no longer registered (cached results after a rename) degrade to a
+    bare id.
+    """
+    from repro.lint.registry import rule_descriptions
+
+    descriptions = rule_descriptions()
+    rules_meta = [
+        {
+            "id": name,
+            "shortDescription": {
+                "text": descriptions.get(name) or name,
+            },
+        }
+        for name in sorted(set(result.rules) | {f.rule for f in result.findings})
+    ]
+    rule_index = {meta["id"]: position for position, meta in enumerate(rules_meta)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(sarif_dict(result), indent=1, sort_keys=True)
 
 
 def validate_report(payload: object) -> None:

@@ -19,8 +19,22 @@ Importing this package registers every rule with
 * :class:`~repro.lint.rules.telemetry.TelemetryDiscipline` — host
   resource sampling stays in ``obs/profiler.py`` and the
   ``repro.obs.events/*`` schema id appears only in ``obs/events.py``.
+
+Whole-program rules (run with ``repro lint --program``) register from
+:mod:`repro.lint.program`:
+
+* :class:`~repro.lint.program.taint.NondeterminismFlow` —
+  interprocedural taint from nondeterminism sources (time, random,
+  set/dict iteration order, filesystem order, completion order) into
+  determinism sinks (report payloads, fingerprints, memo keys,
+  baseline comparisons).
+* :class:`~repro.lint.program.schema.SchemaLiteralConsistency` — every
+  ``repro.*/v*`` schema literal agrees with its declaring constant,
+  has both a producer and a validator, and matches committed baselines.
 """
 
+from repro.lint.program.schema import SchemaLiteralConsistency
+from repro.lint.program.taint import NondeterminismFlow
 from repro.lint.rules.config import ConfigFlagCoverage
 from repro.lint.rules.exact import ExactArithPurity
 from repro.lint.rules.ledger import LedgerDiscipline
@@ -33,6 +47,8 @@ __all__ = [
     "ConfigFlagCoverage",
     "ExactArithPurity",
     "LedgerDiscipline",
+    "NondeterminismFlow",
+    "SchemaLiteralConsistency",
     "SpanLabelStability",
     "TelemetryDiscipline",
     "TraceDiscipline",

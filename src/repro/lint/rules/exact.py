@@ -26,6 +26,7 @@ import ast
 from typing import Iterable, Optional
 
 from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.program.scopes import EXACT_DIRS
 from repro.lint.registry import register
 
 __all__ = ["ExactArithPurity"]
@@ -35,7 +36,6 @@ EXACT_MATH = frozenset(
     {"gcd", "isqrt", "lcm", "comb", "perm", "factorial", "prod"}
 )
 _FLOAT_BUILTINS = frozenset({"float", "complex"})
-_EXACT_DIRS = ("numth", "ring")
 
 
 @register
@@ -58,7 +58,7 @@ class ExactArithPurity(Rule):
     def visit(
         self, node: ast.AST, ctx: FileContext
     ) -> Optional[Iterable[Finding]]:
-        if not ctx.in_dir(*_EXACT_DIRS):
+        if not ctx.in_dir(*EXACT_DIRS):
             return None
         if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
             node.op, ast.Div

@@ -31,6 +31,7 @@ import ast
 from typing import Iterable, List, Optional
 
 from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.program.scopes import ACCOUNTING_CORE_FILES
 from repro.lint.registry import register
 
 __all__ = ["LedgerDiscipline"]
@@ -41,13 +42,6 @@ COST_FIELDS = frozenset(
 )
 _SUFFIXES = ("_bytes", "_ops")
 
-#: The accounting core where cost-field arithmetic is definitionally OK.
-ALLOWED_FILES = (
-    "perf/events.py",
-    "perf/ledger.py",
-    "perf/cache.py",
-    "memsim/accounting.py",
-)
 
 
 def _is_cost_identifier(name: str) -> bool:
@@ -77,7 +71,7 @@ class LedgerDiscipline(Rule):
         self, node: ast.AST, ctx: FileContext
     ) -> Optional[Iterable[Finding]]:
         assert isinstance(node, (ast.Assign, ast.AugAssign))
-        if ctx.is_file(*ALLOWED_FILES):
+        if ctx.is_file(*ACCOUNTING_CORE_FILES):
             return None
         raw_targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         findings: List[Finding] = []

@@ -29,15 +29,11 @@ import ast
 from typing import Iterable, List, Optional
 
 from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.program.scopes import EVENTS_HOME, PROFILER_HOME
 from repro.lint.registry import register
 
 __all__ = ["TelemetryDiscipline"]
 
-#: The sole sanctioned module for host resource sampling.
-PROFILER_HOME = "obs/profiler.py"
-
-#: Where the events schema id is definitionally allowed as a literal.
-EVENTS_HOME = "obs/events.py"
 
 #: Event schema ids are flagged by prefix so a v2 bump stays covered.
 EVENTS_SCHEMA_PREFIX = "repro.obs.events/"  # lint: disable=TelemetryDiscipline

@@ -28,6 +28,10 @@ import ast
 from typing import Iterable, List, Optional
 
 from repro.lint.core import FileContext, Finding, Rule
+from repro.lint.program.scopes import (
+    MEMSIM_ACCOUNTING_HOME,
+    MEMSIM_TRACE_HOME,
+)
 from repro.lint.registry import register
 
 __all__ = ["TraceDiscipline"]
@@ -35,11 +39,6 @@ __all__ = ["TraceDiscipline"]
 #: Trace event types that must be emitted via TraceRecorder.
 EVENT_TYPES = frozenset({"Access", "BulkAccess", "PinEvent", "FlushEvent"})
 
-#: Where direct event construction is definitionally OK.
-EVENT_HOME = "memsim/trace.py"
-
-#: The sole sanctioned accumulation site for simulated byte counters.
-ACCOUNTING_HOME = "memsim/accounting.py"
 
 
 def _called_name(func: ast.AST) -> Optional[str]:
@@ -73,7 +72,7 @@ class TraceDiscipline(Rule):
     def _visit_call(
         self, node: ast.Call, ctx: FileContext
     ) -> Optional[List[Finding]]:
-        if ctx.is_file(EVENT_HOME):
+        if ctx.is_file(MEMSIM_TRACE_HOME):
             return None
         name = _called_name(node.func)
         if name not in EVENT_TYPES:
@@ -92,7 +91,7 @@ class TraceDiscipline(Rule):
     def _visit_augassign(
         self, node: ast.AugAssign, ctx: FileContext
     ) -> Optional[List[Finding]]:
-        if not ctx.in_dir("memsim") or ctx.is_file(ACCOUNTING_HOME):
+        if not ctx.in_dir("memsim") or ctx.is_file(MEMSIM_ACCOUNTING_HOME):
             return None
         target = node.target
         if isinstance(target, ast.Attribute):

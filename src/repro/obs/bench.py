@@ -44,6 +44,41 @@ ACCEPTED_TRAJECTORY_SCHEMA_IDS = (
 )
 
 
+def validate_bench_trajectory(payload: Any) -> None:
+    """Structural validation of a BENCH_<name>.json trajectory document.
+
+    Raises ValueError on mismatch; gates every trajectory write so a
+    drifting producer cannot silently ship entries nothing reads back.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("bench trajectory must be a JSON object")
+    if payload.get("schema") not in ACCEPTED_TRAJECTORY_SCHEMA_IDS:
+        raise ValueError(
+            f"unsupported bench trajectory schema {payload.get('schema')!r}; "
+            f"accepted: {', '.join(ACCEPTED_TRAJECTORY_SCHEMA_IDS)}"
+        )
+    if not isinstance(payload.get("workload"), str):
+        raise ValueError("bench trajectory field 'workload' must be a string")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError("bench trajectory field 'entries' must be a list")
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"trajectory entry #{position} must be an object")
+        for key in ("wall_seconds", "ops_total", "traffic_total"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"trajectory entry #{position} field {key!r} "
+                    "must be a number"
+                )
+        if not isinstance(entry.get("regressions"), list):
+            raise ValueError(
+                f"trajectory entry #{position} field 'regressions' "
+                "must be a list"
+            )
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One bench workload: what to run and which baseline gates it."""
@@ -321,6 +356,7 @@ def _append_trajectory(
             ),
         }
     )
+    validate_bench_trajectory(trajectory)
     with open(path, "w") as handle:
         json.dump(trajectory, handle, indent=1, sort_keys=True)
         handle.write("\n")

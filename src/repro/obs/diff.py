@@ -38,6 +38,9 @@ from repro.obs.export import compute_span_paths
 
 SCHEMA_ID = "repro.obs.cost_diff/v1"
 
+#: Schema id stamped into the Chrome-trace overlay's ``otherData`` block.
+OVERLAY_SCHEMA_ID = "repro.obs.diff_overlay/v1"
+
 #: DRAM traffic streams, in the paper's Figure 2/3 breakdown order.
 STREAMS = ("ct_read", "ct_write", "key_read", "pt_read")
 _OPS_KEYS = ("mults", "adds", "total")
@@ -557,14 +560,33 @@ def build_overlay_trace(
                     "args": args,
                 }
             )
-    return {
+    overlay = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
-            "schema": "repro.obs.diff_overlay/v1",
+            "schema": OVERLAY_SCHEMA_ID,
             "identical": diff["identical"],
         },
     }
+    validate_diff_overlay(overlay)
+    return overlay
+
+
+def validate_diff_overlay(payload: Any) -> None:
+    """Structural validation of an overlay trace; raises ValueError."""
+    if not isinstance(payload, dict):
+        raise ValueError("diff overlay must be a JSON object")
+    other = payload.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != OVERLAY_SCHEMA_ID:
+        raise ValueError(
+            "diff overlay otherData.schema "
+            f"{other.get('schema') if isinstance(other, dict) else None!r} "
+            f"!= {OVERLAY_SCHEMA_ID!r}"
+        )
+    if not isinstance(other.get("identical"), bool):
+        raise ValueError("diff overlay otherData.identical must be a bool")
+    if not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("diff overlay traceEvents must be a list")
 
 
 def write_cost_diff(diff: Dict[str, Any], path: str) -> None:

@@ -189,9 +189,15 @@ def cost_dict(cost: CostReport) -> Dict[str, Any]:
 
 
 def _json_safe(value: Any) -> Any:
-    """Coerce span metadata to JSON-serializable values."""
+    """Coerce span metadata to JSON-serializable values.
+
+    Dict entries are emitted in sorted key order so the rendered report
+    never depends on dict construction order (callers assemble config
+    and metadata dicts along different code paths).
+    """
     if isinstance(value, dict):
-        return {str(k): _json_safe(v) for k, v in value.items()}
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        return {str(k): _json_safe(v) for k, v in items}
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
     if value is None or isinstance(value, (bool, int, float, str)):

@@ -1,0 +1,103 @@
+"""Call graph: edges through imports, methods, closures; reachability."""
+
+from repro.lint.program.callgraph import CallGraph
+
+
+def _graph(build_program, files):
+    return CallGraph.build(build_program(files))
+
+
+class TestEdges:
+    def test_direct_and_imported_calls(self, build_program):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from util import helper\n"
+                    "def outer():\n"
+                    "    return inner() + helper()\n"
+                    "def inner():\n"
+                    "    return 1\n"
+                ),
+            },
+        )
+        assert graph.callees("main.outer") == ["main.inner", "util.helper"]
+        assert graph.callers("util.helper") == ["main.outer"]
+
+    def test_self_method_call_resolves(self, build_program):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/mod.py": (
+                    "class Model:\n"
+                    "    def run(self):\n"
+                    "        return self.step()\n"
+                    "    def step(self):\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        assert graph.callees("mod.Model.run") == ["mod.Model.step"]
+
+    def test_external_targets_recorded(self, build_program):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/main.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.perf_counter()\n"
+                ),
+            },
+        )
+        assert graph.external_targets("main.stamp") == [
+            "time.perf_counter"
+        ]
+
+    def test_closure_calls_attributed_to_enclosing_function(
+        self, build_program
+    ):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from util import helper\n"
+                    "def outer():\n"
+                    "    def closure():\n"
+                    "        return helper()\n"
+                    "    return closure()\n"
+                ),
+            },
+        )
+        assert "util.helper" in graph.callees("main.outer")
+
+
+class TestReachability:
+    def test_transitive_closure(self, build_program):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/mod.py": (
+                    "def a():\n    return b()\n"
+                    "def b():\n    return c()\n"
+                    "def c():\n    return 1\n"
+                    "def unrelated():\n    return 2\n"
+                ),
+            },
+        )
+        assert graph.reachable_from("mod.a") == {"mod.b", "mod.c"}
+        assert graph.reachable_from("mod.c") == set()
+
+    def test_cycles_terminate(self, build_program):
+        graph = _graph(
+            build_program,
+            {
+                "pkg/mod.py": (
+                    "def ping():\n    return pong()\n"
+                    "def pong():\n    return ping()\n"
+                ),
+            },
+        )
+        assert graph.reachable_from("mod.ping") == {"mod.ping", "mod.pong"}

@@ -1,0 +1,96 @@
+"""Findings must not depend on the order files are visited.
+
+``Program.build`` sorts its input and witness chains merge to the
+deterministic minimum, so any permutation of the same file set must
+produce byte-identical findings.  Hypothesis drives the permutations.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.program.schema import SchemaLiteralConsistency
+from repro.lint.program.symbols import Program
+from repro.lint.program.taint import NondeterminismFlow
+
+FILES = [
+    (
+        "pkg/report.py",
+        """
+        from walk import names
+        from stamp import now
+
+        def build(d):
+            return {
+                "schema": "repro.x/v1",
+                "rows": [[k, v] for k, v in d.items()],
+                "names": names("."),
+                "t": now(),
+            }
+        """,
+    ),
+    (
+        "pkg/walk.py",
+        """
+        import os
+
+        def names(root):
+            return os.listdir(root)
+        """,
+    ),
+    (
+        "pkg/stamp.py",
+        """
+        import time
+
+        def now():
+            return time.perf_counter()
+        """,
+    ),
+    (
+        "pkg/schema_home.py",
+        """
+        SCHEMA_ID = "repro.x/v1"
+
+        def validate(payload):
+            return payload.get("schema") == SCHEMA_ID
+        """,
+    ),
+    (
+        "pkg/drift.py",
+        """
+        def emit():
+            return {"schema": "repro.x/v3"}
+        """,
+    ),
+]
+
+
+def _findings(ordered):
+    parsed = [
+        (path, ast.parse(textwrap.dedent(code))) for path, code in ordered
+    ]
+    program = Program.build(parsed, baseline_dirs=[])
+    found = list(NondeterminismFlow().check(program))
+    found += list(SchemaLiteralConsistency().check(program))
+    return sorted(
+        (f.path, f.line, f.col, f.rule, f.message) for f in found
+    )
+
+
+BASELINE = _findings(FILES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order=st.permutations(FILES))
+def test_findings_are_independent_of_file_visit_order(order):
+    assert _findings(order) == BASELINE
+
+
+def test_baseline_fixture_actually_finds_violations():
+    # Guard against the permutation test passing vacuously.
+    rules = {entry[3] for entry in BASELINE}
+    assert "NondeterminismFlow" in rules
+    assert "SchemaLiteralConsistency" in rules

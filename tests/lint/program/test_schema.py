@@ -1,0 +1,168 @@
+"""Schema-literal consistency: drift, homes, producers vs validators,
+committed baselines."""
+
+import json
+
+
+def _schema_findings(result):
+    return [
+        f for f in result.findings if f.rule == "SchemaLiteralConsistency"
+    ]
+
+
+WELL_FORMED = {
+    "pkg/report.py": """
+    SCHEMA_ID = "repro.demo/v1.1"
+
+    ACCEPTED_SCHEMA_IDS = ("repro.demo/v1", SCHEMA_ID)
+
+    def build():
+        return {"schema": SCHEMA_ID}
+
+    def validate(payload):
+        if payload.get("schema") not in ACCEPTED_SCHEMA_IDS:
+            raise ValueError(payload)
+    """,
+}
+
+
+class TestConsistentFamilies:
+    def test_well_formed_family_is_clean(self, program_lint):
+        result = program_lint(
+            dict(WELL_FORMED), rules=["SchemaLiteralConsistency"]
+        )
+        assert _schema_findings(result) == []
+
+    def test_accepted_tuple_widens_legal_versions(self, program_lint):
+        files = dict(WELL_FORMED)
+        files["pkg/loader.py"] = """
+        def load_legacy(payload):
+            return payload.get("schema") == "repro.demo/v1"
+        """
+        result = program_lint(files, rules=["SchemaLiteralConsistency"])
+        assert _schema_findings(result) == []
+
+
+class TestViolations:
+    def test_version_drift_from_validator(self, program_lint):
+        files = dict(WELL_FORMED)
+        files["pkg/emitter.py"] = """
+        def emit():
+            return {"schema": "repro.demo/v2"}
+        """
+        result = program_lint(files, rules=["SchemaLiteralConsistency"])
+        findings = _schema_findings(result)
+        assert len(findings) == 1
+        assert findings[0].path.endswith("pkg/emitter.py")
+        assert "drifts" in findings[0].message
+        assert "repro.demo/v2" in findings[0].message
+
+    def test_schema_id_with_no_declaring_constant(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/emitter.py": """
+                def emit():
+                    return {"schema": "repro.orphan/v1"}
+                """,
+            },
+            rules=["SchemaLiteralConsistency"],
+        )
+        findings = _schema_findings(result)
+        assert len(findings) == 1
+        assert "no declaring" in findings[0].message
+
+    def test_producer_with_no_validator(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/emitter.py": """
+                SCHEMA_ID = "repro.ungated/v1"
+
+                def emit():
+                    return {"schema": SCHEMA_ID}
+                """,
+            },
+            rules=["SchemaLiteralConsistency"],
+        )
+        findings = _schema_findings(result)
+        assert len(findings) == 1
+        assert "no validate" in findings[0].message
+
+    def test_validator_with_no_producer(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/checker.py": """
+                SCHEMA_ID = "repro.dead/v1"
+
+                def validate(payload):
+                    return payload.get("schema") == SCHEMA_ID
+                """,
+            },
+            rules=["SchemaLiteralConsistency"],
+        )
+        findings = _schema_findings(result)
+        assert len(findings) == 1
+        assert "no producer" in findings[0].message
+
+    def test_family_declared_in_two_modules(self, program_lint):
+        files = dict(WELL_FORMED)
+        files["pkg/rival.py"] = """
+        RIVAL_SCHEMA_ID = "repro.demo/v1.2"
+
+        def emit():
+            return {"schema": RIVAL_SCHEMA_ID}
+        """
+        result = program_lint(files, rules=["SchemaLiteralConsistency"])
+        messages = [f.message for f in _schema_findings(result)]
+        assert any("multiple modules" in m for m in messages)
+
+
+class TestBaselines:
+    def test_baseline_carrying_stale_version_is_flagged(
+        self, program_lint, tmp_path
+    ):
+        baseline_dir = tmp_path / "benchmarks" / "baselines"
+        baseline_dir.mkdir(parents=True)
+        (baseline_dir / "old.json").write_text(
+            json.dumps({"schema": "repro.demo/v0", "totals": {}})
+        )
+        result = program_lint(
+            dict(WELL_FORMED),
+            rules=["SchemaLiteralConsistency"],
+            baseline_dirs=[baseline_dir],
+        )
+        findings = _schema_findings(result)
+        assert len(findings) == 1
+        assert "old.json" in findings[0].message
+        assert "repro.demo/v0" in findings[0].message
+
+    def test_baseline_with_accepted_version_is_clean(
+        self, program_lint, tmp_path
+    ):
+        baseline_dir = tmp_path / "benchmarks" / "baselines"
+        baseline_dir.mkdir(parents=True)
+        (baseline_dir / "ok.json").write_text(
+            json.dumps({"schema": "repro.demo/v1"})
+        )
+        result = program_lint(
+            dict(WELL_FORMED),
+            rules=["SchemaLiteralConsistency"],
+            baseline_dirs=[baseline_dir],
+        )
+        assert _schema_findings(result) == []
+
+    def test_unknown_family_in_baseline_is_skipped(
+        self, program_lint, tmp_path
+    ):
+        # Partial-tree runs must not false-positive on families whose
+        # home module was not scanned.
+        baseline_dir = tmp_path / "benchmarks" / "baselines"
+        baseline_dir.mkdir(parents=True)
+        (baseline_dir / "foreign.json").write_text(
+            json.dumps({"schema": "repro.elsewhere/v9"})
+        )
+        result = program_lint(
+            dict(WELL_FORMED),
+            rules=["SchemaLiteralConsistency"],
+            baseline_dirs=[baseline_dir],
+        )
+        assert _schema_findings(result) == []

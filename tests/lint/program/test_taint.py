@@ -1,0 +1,316 @@
+"""Nondeterminism taint: sources, interprocedural flow, sanitizers,
+allowlist boundaries, sinks."""
+
+
+def _flows(result):
+    return [f for f in result.findings if f.rule == "NondeterminismFlow"]
+
+
+class TestSourceToSink:
+    def test_unsorted_dict_iteration_reaches_payload(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def _rows(d):
+                    out = []
+                    for k, v in d.items():
+                        out.append([k, v])
+                    return out
+
+                def build(d):
+                    return {"schema": "repro.x/v1", "rows": _rows(d)}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        assert "dict-order" in flows[0].message
+        assert "via report._rows" in flows[0].message
+        assert "`rows`" in flows[0].message
+
+    def test_wall_clock_reaches_fingerprint(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/fp.py": """
+                import hashlib
+                import time
+
+                def fingerprint(payload):
+                    stamp = time.perf_counter()
+                    return hashlib.sha256(str(stamp).encode()).hexdigest()
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        assert "time" in flows[0].message
+        assert "fingerprint input" in flows[0].message
+
+    def test_set_iteration_reaches_memo_key(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/memo.py": """
+                def cached(memo, names):
+                    key = tuple({n for n in names})
+                    return memo.get_or_compute(key, lambda: 1)
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        assert "memo key" in flows[0].message
+
+    def test_pid_reaches_baseline_comparison(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/gate.py": """
+                import os
+
+                def compare_reports(a, b):
+                    return a == b
+
+                def gate(baseline):
+                    current = {"pid": os.getpid()}
+                    return compare_reports(baseline, current)
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        assert "baseline comparison" in flows[0].message
+        assert "process-identity" in flows[0].message
+
+    def test_fs_order_propagates_through_return(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/scan.py": """
+                import os
+
+                def _names(root):
+                    return os.listdir(root)
+
+                def manifest(root):
+                    return {"schema": "repro.x/v1", "names": _names(root)}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        assert "fs-order" in flows[0].message
+        assert "via scan._names" in flows[0].message
+
+
+class TestSanitizers:
+    def test_sorted_clears_order_taint(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def build(d):
+                    rows = sorted(d.items())
+                    return {"schema": "repro.x/v1", "rows": rows}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_sorted_does_not_clear_time_taint(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import time
+
+                def build():
+                    stamps = sorted([time.time()])
+                    return {"schema": "repro.x/v1", "t": stamps}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert len(_flows(result)) == 1
+
+    def test_list_sort_canonicalises_in_place(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def build(d):
+                    rows = list(d.keys())
+                    rows.sort()
+                    return {"schema": "repro.x/v1", "rows": rows}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_len_collapses_order(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def build(d):
+                    return {"schema": "repro.x/v1", "n": len(d.keys())}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_strip_volatile_clears_everything(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import time
+
+                def strip_volatile(payload):
+                    return payload
+
+                def build():
+                    raw = {"wall": time.time()}
+                    return {"schema": "repro.x/v1", "body": strip_volatile(raw)}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_json_dumps_sort_keys_clears_dict_order(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import json
+
+                def build(d):
+                    blob = json.dumps(dict(d.items()), sort_keys=True)
+                    return {"schema": "repro.x/v1", "blob": blob}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_sum_preserves_order_taint(self, program_lint):
+        # Float accumulation over an unordered collection is
+        # order-dependent; sum() must NOT sanitize.
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def build(d):
+                    total = sum(d.values())
+                    return {"schema": "repro.x/v1", "total": total}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert len(_flows(result)) == 1
+
+
+class TestAllowlistBoundaries:
+    def test_allowed_payload_key_carries_taint_silently(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import time
+
+                def build():
+                    return {"schema": "repro.x/v1", "wall_seconds": time.time()}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_volatile_channel_functions_return_clean(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/obs/profiler.py": """
+                import time
+
+                def sample():
+                    return {"wall": time.time()}
+                """,
+                "pkg/report.py": """
+                from obs.profiler import sample
+
+                def build():
+                    return {"schema": "repro.x/v1", "host": sample()}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_sinks_inside_volatile_channels_not_reported(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/obs/profiler.py": """
+                import time
+
+                def snapshot():
+                    return {"schema": "repro.x/v1", "wall": time.time()}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+
+    def test_suppression_comment_silences_program_finding(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import time
+
+                def build():
+                    return {
+                        "schema": "repro.x/v1",
+                        "t": time.time(),  # lint: disable=NondeterminismFlow
+                    }
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert _flows(result) == []
+        assert result.suppressed == 1
+
+
+class TestFindingQuality:
+    def test_finding_names_function_and_witness_chain(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                import time
+
+                def _stamp():
+                    return time.perf_counter()
+
+                def build():
+                    return {"schema": "repro.x/v1", "t": _stamp()}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        flows = _flows(result)
+        assert len(flows) == 1
+        message = flows[0].message
+        assert "`report.build`" in message
+        assert "time.perf_counter(...)" in message
+        assert "via report._stamp" in message
+
+    def test_each_sink_reported_once(self, program_lint):
+        result = program_lint(
+            {
+                "pkg/report.py": """
+                def build(d):
+                    out = []
+                    for k in d.keys():
+                        out.append(k)
+                    return {"schema": "repro.x/v1", "rows": out}
+                """,
+            },
+            rules=["NondeterminismFlow"],
+        )
+        assert len(_flows(result)) == 1

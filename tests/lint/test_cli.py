@@ -76,3 +76,123 @@ class TestLintCommand:
         bad.write_text("def broken(:\n")
         assert main(["lint", str(tmp_path)]) == 1
         assert "SyntaxError" in capsys.readouterr().out
+
+
+def _seed_program_violation(tmp_path):
+    target = tmp_path / "obs" / "report.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            def build(d):
+                rows = []
+                for k, v in d.items():
+                    rows.append([k, v])
+                return {"schema": "repro.x/v1", "rows": rows}
+
+            SCHEMA_ID = "repro.x/v1"
+
+            def validate(payload):
+                return payload.get("schema") == SCHEMA_ID
+            """
+        )
+    )
+    return target
+
+
+class TestProgramFlag:
+    def test_program_pass_catches_taint_flow(self, tmp_path, capsys):
+        _seed_program_violation(tmp_path)
+        assert main(["lint", "--program", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "NondeterminismFlow" in out
+
+    def test_without_flag_program_rules_stay_off(self, tmp_path, capsys):
+        _seed_program_violation(tmp_path)
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_selecting_program_rule_without_flag_is_usage_error(
+        self, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="--program"):
+            main(["lint", "--rule", "NondeterminismFlow", str(tmp_path)])
+
+    def test_program_rule_selection_with_flag(self, tmp_path, capsys):
+        _seed_program_violation(tmp_path)
+        code = main(
+            [
+                "lint",
+                "--program",
+                "--rule",
+                "NondeterminismFlow",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert "NondeterminismFlow" in capsys.readouterr().out
+
+
+class TestChangedOnly:
+    def test_second_run_is_replayed_from_cache(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--changed-only", "tree"]) == 0
+        first = capsys.readouterr().out
+        assert "[cached]" not in first
+        assert main(["lint", "--changed-only", "tree"]) == 0
+        second = capsys.readouterr().out
+        assert "[cached]" in second
+        assert (tmp_path / ".lint_cache").is_dir()
+
+    def test_edit_invalidates_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        target = tree / "mod.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--changed-only", "tree"]) == 0
+        capsys.readouterr()
+        target.write_text("x = 2\n")
+        assert main(["lint", "--changed-only", "tree"]) == 0
+        assert "[cached]" not in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_sarif_to_stdout(self, tmp_path, capsys):
+        _seed_violation(tmp_path)
+        assert main(["lint", "--format", "sarif", str(tmp_path)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "LedgerDiscipline"
+
+    def test_out_writes_file_and_prints_text_summary(
+        self, tmp_path, capsys
+    ):
+        _seed_violation(tmp_path)
+        out_file = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint",
+                "--format",
+                "sarif",
+                "--out",
+                str(out_file),
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        log = json.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        # stdout stays human-readable.
+        assert "LedgerDiscipline" in capsys.readouterr().out
+
+    def test_json_format_flag_matches_json_switch(self, tmp_path, capsys):
+        _seed_violation(tmp_path)
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)

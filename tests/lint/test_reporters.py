@@ -103,3 +103,49 @@ class TestJsonReporter:
     def test_validate_rejects_non_object(self):
         with pytest.raises(ValueError):
             validate_report(["not", "an", "object"])
+
+
+class TestSarifReporter:
+    def test_sarif_log_structure(self):
+        from repro.lint import render_sarif
+
+        log = json.loads(render_sarif(_result()))
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"]) == 1
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 2
+
+    def test_results_carry_location_and_rule_index(self):
+        from repro.lint import render_sarif
+
+        log = json.loads(render_sarif(_result()))
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for entry in run["results"]:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(".py")
+            assert location["region"]["startLine"] > 0
+            assert location["region"]["startColumn"] > 0
+            assert rules[entry["ruleIndex"]]["id"] == entry["ruleId"]
+
+    def test_registered_rules_carry_descriptions(self):
+        from repro.lint import all_rules, render_sarif, run_lint
+
+        result = run_lint([], all_rules())
+        log = json.loads(render_sarif(result))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} >= {
+            "LedgerDiscipline",
+            "UnitsHygiene",
+        }
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+
+    def test_clean_run_has_empty_results(self):
+        from repro.lint import render_sarif
+
+        log = json.loads(
+            render_sarif(LintResult(files=["a.py"], rules=["UnitsHygiene"]))
+        )
+        assert log["runs"][0]["results"] == []

@@ -11,7 +11,7 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.lint import all_rules, run_lint
+from repro.lint import all_program_rules, all_rules, run_lint
 
 SRC = Path(repro.__file__).resolve().parent
 
@@ -23,8 +23,16 @@ class TestTreeIsClean:
         # Sanity: the run actually covered the package.
         assert len(result.files) > 50
 
+    def test_src_repro_lints_clean_with_program_pass(self):
+        result = run_lint(
+            [SRC], all_rules(), program_rules=all_program_rules()
+        )
+        assert result.clean, "\n".join(f.render() for f in result.findings)
+
     def test_every_registered_rule_ran(self):
-        result = run_lint([SRC], all_rules())
+        result = run_lint(
+            [SRC], all_rules(), program_rules=all_program_rules()
+        )
         assert result.rules == [
             "ConfigFlagCoverage",
             "ExactArithPurity",
@@ -33,6 +41,8 @@ class TestTreeIsClean:
             "TelemetryDiscipline",
             "TraceDiscipline",
             "UnitsHygiene",
+            "NondeterminismFlow",
+            "SchemaLiteralConsistency",
         ]
 
 
@@ -114,3 +124,53 @@ class TestSeededViolations:
     def test_missing_path_raises(self):
         with pytest.raises(FileNotFoundError):
             run_lint(["/nonexistent/definitely-not-here"], all_rules())
+
+
+class TestSeededProgramViolations:
+    """Mutating real shipped sources must trip the whole-program pass."""
+
+    def _copy_with(self, tmp_path, relpath, appended):
+        source = (SRC / relpath).read_text()
+        target = tmp_path / "repro" / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source + appended)
+        return target
+
+    def _program_findings(self, tmp_path, rule):
+        result = run_lint(
+            [tmp_path], rules=[], program_rules=all_program_rules()
+        )
+        return [f for f in result.findings if f.rule == rule]
+
+    def test_unsorted_dict_iteration_into_report_payload(self, tmp_path):
+        self._copy_with(
+            tmp_path,
+            "obs/export.py",
+            "\n\ndef _leaky_rows(d):\n"
+            "    rows = []\n"
+            "    for k, v in d.items():\n"
+            "        rows.append([k, v])\n"
+            "    return rows\n"
+            "\n\ndef build_leaky_report(d):\n"
+            '    return {"schema": SCHEMA_ID, "rows": _leaky_rows(d)}\n',
+        )
+        culprits = self._program_findings(tmp_path, "NondeterminismFlow")
+        assert len(culprits) == 1
+        assert culprits[0].path.endswith("obs/export.py")
+        assert "dict-order" in culprits[0].message
+        assert "rows" in culprits[0].message
+
+    def test_schema_version_literal_drifting_from_validator(self, tmp_path):
+        target = self._copy_with(
+            tmp_path,
+            "obs/export.py",
+            "\n\ndef build_bumped_report():\n"
+            '    return {"schema": "repro.obs.run_report/v2"}\n',
+        )
+        culprits = self._program_findings(
+            tmp_path, "SchemaLiteralConsistency"
+        )
+        assert len(culprits) == 1
+        assert culprits[0].path.endswith("obs/export.py")
+        assert culprits[0].line == len(target.read_text().splitlines())
+        assert "drifts" in culprits[0].message
