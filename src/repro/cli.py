@@ -13,6 +13,7 @@ Commands regenerate the paper's tables/figures or run ad-hoc analyses:
     python -m repro lint --json src/repro
     python -m repro sweep table5 --jobs 4 --out sweep_report.json
     python -m repro sweep table5 --jobs 4 --events events.jsonl --report run_report.json
+    python -m repro serve mixed --seed 0 --out serve_report.json
     python -m repro profile bootstrap --params optimal --config all
     python -m repro top events.jsonl
     python -m repro dash events.jsonl --out dash.html
@@ -27,7 +28,11 @@ and observability invariants (see :mod:`repro.lint`); ``sweep`` runs a
 declarative parameter sweep (see :mod:`repro.sweep`) over worker
 processes with a resumable machine-readable report, optionally streaming
 a ``repro.obs.events/v1`` JSONL event log and a merged cross-process
-``run_report.json``; ``profile`` attributes host resources (RSS,
+``run_report.json``; ``serve`` runs a seed-deterministic multi-tenant
+serving simulation (see :mod:`repro.serve`) and writes a
+``repro.serve/v1`` report with per-tenant latency percentiles, SLA
+verdicts, batching efficiency and cost-per-request; ``profile``
+attributes host resources (RSS,
 allocation peaks, CPU, GC) span by span; ``top`` renders live progress
 from an event stream; ``dash`` turns an event stream into a
 self-contained HTML dashboard.
@@ -579,6 +584,132 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.obs import state as obs
+    from repro.serve import SCENARIOS, assemble_serve_report, write_serve_report
+    from repro.sweep import SweepAxis, SweepSpec, run_sweep
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"choose a serving scenario: {', '.join(sorted(SCENARIOS))} "
+            "(or --list to enumerate)"
+        )
+    scenario = SCENARIOS[args.scenario]
+    # One grid point per fleet: the same evaluator capacity sweeps use,
+    # so serial and --jobs N runs assemble byte-identical reports.
+    spec = SweepSpec(
+        name=f"serve-{scenario.name}",
+        evaluator="serve.scenario",
+        axes=(
+            SweepAxis("fleet", tuple(f.name for f in scenario.fleets)),
+        ),
+        context={"scenario": scenario.name, "seed": args.seed},
+    )
+
+    event_log = None
+    if args.events:
+        from repro.obs.events import RUN_END, EventLog, provenance
+
+        event_log = EventLog(args.events)
+        event_log.start(
+            command=f"serve {scenario.name}",
+            provenance_block=provenance(
+                config_fingerprint=spec.fingerprint()
+            ),
+        )
+    try:
+        if args.report:
+            from repro.obs.export import build_run_report, validate_run_report
+            from repro.obs.profiler import (
+                process_cpu_seconds,
+                run_resource_summary,
+            )
+
+            wall0 = time.perf_counter()
+            cpu0 = process_cpu_seconds()
+            with obs.capture() as (tracer, registry):
+                outcome = run_sweep(spec, jobs=args.jobs, events=event_log)
+                resources = run_resource_summary(
+                    wall_seconds=time.perf_counter() - wall0,
+                    cpu_seconds=process_cpu_seconds() - cpu0,
+                )
+            run_report = build_run_report(
+                tracer,
+                registry,
+                command=f"serve {scenario.name}",
+                workload=f"serve:{scenario.name}",
+                resources=resources,
+            )
+            validate_run_report(run_report)
+            with open(args.report, "w") as handle:
+                json.dump(run_report, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        else:
+            outcome = run_sweep(spec, jobs=args.jobs, events=event_log)
+        if event_log is not None:
+            event_log.emit(RUN_END, {"exit_code": 0})
+    finally:
+        if event_log is not None:
+            event_log.close()
+
+    report = assemble_serve_report(scenario, args.seed, outcome.rows)
+    if args.out:
+        write_serve_report(report, args.out)
+    if args.json:
+        _print_json(report)
+        return 0
+    print(
+        f"serve {scenario.name}: seed {args.seed}, "
+        f"{scenario.duration_s:g}s horizon, "
+        f"{len(report['fleets'])} fleets, config {scenario.config}"
+    )
+    for fleet in report["fleets"]:
+        requests = fleet["requests"]
+        batching = fleet["batching"]
+        print(
+            f"  {fleet['fleet']:16} {fleet['design']:14} "
+            f"x{fleet['devices']} {fleet['scheduler']:4} "
+            f"cache={fleet['cache_policy']:8} "
+            f"{requests['completed']:5d} req "
+            f"{fleet['throughput_rps']:7.1f} rps "
+            f"util {fleet['utilisation']:6.1%} "
+            f"batch {batching['mean_size']:4.2f} "
+            f"ksk saved {batching['key_read_saved_fraction']:5.1%}"
+        )
+        for tenant in fleet["tenants"]:
+            latency = tenant["latency"]
+            sla = tenant["sla"]
+            if latency is None:
+                line = "no completions"
+            else:
+                line = (
+                    f"p50 {latency['p50_ms']:8.2f}ms "
+                    f"p99 {latency['p99_ms']:8.2f}ms "
+                    f"p999 {latency['p999_ms']:8.2f}ms"
+                )
+            if sla["met"] is not None:
+                target = sla["p99_target_ms"]
+                verdict = "met" if sla["met"] else "MISSED"
+                line += f"  sla p99<={target:g}ms {verdict}"
+            print(
+                f"    {tenant['tenant']:14} {tenant['completed']:5d} req "
+                f"{tenant['bootstraps']:3d} boot  {line}"
+            )
+    if args.out:
+        print(f"wrote serve report to {args.out}")
+    if args.events:
+        print(f"wrote event log to {args.events}")
+    if args.report:
+        print(f"wrote run report to {args.report}")
+    return 0
+
+
 def _profile_workload(args):
     """``(name, thunk)`` for a profile target; thunk returns the total cost."""
     params = _PARAM_SETS[args.params]
@@ -1034,6 +1165,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list sweep presets and exit"
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="simulate a multi-tenant serving scenario on accelerator fleets",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="serving scenario name (see --list)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="arrival-stream seed (same seed -> byte-identical report)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (one fleet per grid point); 1 is in-process",
+    )
+    p.add_argument(
+        "--out", default=None, help="write serve_report.json here"
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream a repro.obs.events/v1 JSONL event log here "
+        "(live-tailable by `repro top` and renderable by `repro dash`)",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="capture cross-process telemetry and write the merged "
+        "run_report.json here",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--list", action="store_true", help="list serving scenarios and exit"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "profile",

@@ -40,11 +40,46 @@ class HardwareDesign:
 
     def __post_init__(self) -> None:
         if self.modular_multipliers <= 0:
-            raise ValueError("modular_multipliers must be positive")
-        if self.on_chip_mb <= 0 or self.bandwidth_gb_s <= 0:
-            raise ValueError("memory characteristics must be positive")
-        if self.frequency_ghz <= 0:
-            raise ValueError("frequency must be positive")
+            raise ValueError(
+                f"design {self.name!r}: modular_multipliers must be "
+                f"positive, got {self.modular_multipliers}"
+            )
+        if not self.on_chip_mb > 0:
+            raise ValueError(
+                f"design {self.name!r}: on_chip_mb must be positive, "
+                f"got {self.on_chip_mb}"
+            )
+        if not self.bandwidth_gb_s > 0:
+            raise ValueError(
+                f"design {self.name!r}: bandwidth_gb_s must be positive, "
+                f"got {self.bandwidth_gb_s}"
+            )
+        if not self.frequency_ghz > 0:
+            raise ValueError(
+                f"design {self.name!r}: frequency_ghz must be positive, "
+                f"got {self.frequency_ghz}"
+            )
+        # The derived roofline rates divide runtime estimates; NaN or
+        # infinite field values pass the comparisons above (NaN fails
+        # them) only as non-finite products, so reject them here with
+        # the field that caused it.
+        if not (
+            self.compute_ops_per_second > 0
+            and self.compute_ops_per_second != float("inf")
+        ):
+            raise ValueError(
+                f"design {self.name!r}: modular_multipliers x "
+                f"frequency_ghz does not give a positive finite "
+                f"compute rate"
+            )
+        if not (
+            self.bandwidth_bytes_per_second > 0
+            and self.bandwidth_bytes_per_second != float("inf")
+        ):
+            raise ValueError(
+                f"design {self.name!r}: bandwidth_gb_s does not give a "
+                f"positive finite byte rate"
+            )
 
     @property
     def cache(self) -> CacheModel:

@@ -57,9 +57,28 @@ def estimate_runtime(
     When a span is open on the global tracer (:mod:`repro.obs`) the
     estimate is attached to it as metadata, attributing compute-bound vs
     memory-bound time to whatever the span measures.
+
+    Raises :class:`ValueError` (naming the design and the degenerate
+    rate) instead of :class:`ZeroDivisionError` when a design slips
+    through construction with a non-positive roofline rate — e.g. a
+    ``dataclasses.replace`` bypassing no validation but a hand-built
+    object with ``__post_init__`` monkeypatched away, or a subclass
+    overriding the rate properties.
     """
-    compute = cost.ops.total / design.compute_ops_per_second
-    memory = cost.traffic.total / design.bandwidth_bytes_per_second
+    compute_rate = design.compute_ops_per_second
+    memory_rate = design.bandwidth_bytes_per_second
+    if not compute_rate > 0:
+        raise ValueError(
+            f"cannot estimate runtime on design {design.name!r}: "
+            f"compute_ops_per_second is {compute_rate!r}, not positive"
+        )
+    if not memory_rate > 0:
+        raise ValueError(
+            f"cannot estimate runtime on design {design.name!r}: "
+            f"bandwidth_bytes_per_second is {memory_rate!r}, not positive"
+        )
+    compute = cost.ops.total / compute_rate
+    memory = cost.traffic.total / memory_rate
     estimate = RuntimeEstimate(compute_seconds=compute, memory_seconds=memory)
     obs.count("hardware.runtime.estimates")
     if obs.tracing_enabled():

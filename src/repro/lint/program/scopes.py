@@ -25,6 +25,8 @@ __all__ = [
     "MEMSIM_ACCOUNTING_HOME",
     "MEMSIM_TRACE_HOME",
     "PROFILER_HOME",
+    "SEEDED_STREAM_FILES",
+    "SERVE_HOME",
     "VOLATILE_CHANNEL_FILES",
 ]
 
@@ -61,6 +63,13 @@ MEMSIM_TRACE_HOME = "memsim/trace.py"
 #: (:class:`~repro.lint.rules.tracing.TraceDiscipline`).
 MEMSIM_ACCOUNTING_HOME = "memsim/accounting.py"
 
+#: The serving simulator package: virtual-clock only.  No module under
+#: this directory may import ``time`` or ``datetime``
+#: (:class:`~repro.lint.rules.simclock.SimClockDiscipline`) — simulated
+#: timestamps come off the event heap, so a wall-clock read is either
+#: dead code or a determinism leak.
+SERVE_HOME = "serve"
+
 # ----------------------------------------------------------------------
 # Determinism taint: the allowlisted volatile channels
 # ----------------------------------------------------------------------
@@ -90,6 +99,21 @@ VOLATILE_CHANNEL_FILES = (
     "obs/tracer.py",
     "obs/telemetry.py",
 )
+
+#: Modules whose *job* is deriving deterministic streams from seeds.
+#:
+#: Like :data:`VOLATILE_CHANNEL_FILES`, functions defined here return
+#: clean values to the taint engine — but for the opposite reason: the
+#: RNG use inside them is *not* volatile.  Every stream is drawn from a
+#: ``random.Random`` instance constructed from an explicit string seed
+#: (SHA-512 seeded, immune to ``PYTHONHASHSEED``), so identical seeds
+#: give identical streams on every platform and process.  Ambient RNG
+#: (``random.random()`` on the module-global instance) anywhere else
+#: remains a finding.
+#:
+#: * ``serve/arrivals.py`` — the serving simulator's only entropy
+#:   source: seeded Poisson/bursty/diurnal arrival processes.
+SEEDED_STREAM_FILES = ("serve/arrivals.py",)
 
 #: Report-payload keys that hold scheduling- or host-dependent values by
 #: contract.  A tainted value is legal under these keys because every

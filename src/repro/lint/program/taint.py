@@ -33,7 +33,10 @@ volatile-field strip).
 **Allowlisted channels**: functions defined in
 :data:`~repro.lint.program.scopes.VOLATILE_CHANNEL_FILES` return clean
 values (resource sampling, event envelopes, span clocks — all stripped
-before any determinism comparison), and payload keys in
+before any determinism comparison), as do functions in
+:data:`~repro.lint.program.scopes.SEEDED_STREAM_FILES` (explicitly
+seeded ``random.Random`` streams: bit-identical for identical seeds, so
+their randomness is not nondeterminism), and payload keys in
 :data:`~repro.lint.program.scopes.ALLOWED_PAYLOAD_KEYS` may carry
 tainted values (``strip_volatile`` and the CI parity gates exclude
 them).
@@ -62,6 +65,7 @@ from repro.lint.core import Finding, ProgramRule
 from repro.lint.program.callgraph import CallGraph
 from repro.lint.program.scopes import (
     ALLOWED_PAYLOAD_KEYS,
+    SEEDED_STREAM_FILES,
     VOLATILE_CHANNEL_FILES,
 )
 from repro.lint.program.symbols import FunctionInfo, ModuleTable, Program
@@ -238,7 +242,10 @@ class TaintEngine:
 
 def _in_volatile_channel(path: str) -> bool:
     posix = path.replace("\\", "/")
-    return any(posix.endswith(tail) for tail in VOLATILE_CHANNEL_FILES)
+    return any(
+        posix.endswith(tail)
+        for tail in VOLATILE_CHANNEL_FILES + SEEDED_STREAM_FILES
+    )
 
 
 class _FunctionAnalyzer:

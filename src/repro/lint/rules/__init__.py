@@ -19,6 +19,9 @@ Importing this package registers every rule with
 * :class:`~repro.lint.rules.telemetry.TelemetryDiscipline` — host
   resource sampling stays in ``obs/profiler.py`` and the
   ``repro.obs.events/*`` schema id appears only in ``obs/events.py``.
+* :class:`~repro.lint.rules.simclock.SimClockDiscipline` — the serving
+  simulator (``serve/``) never imports ``time``/``datetime``; simulated
+  timestamps come off the virtual event-heap clock only.
 
 Whole-program rules (run with ``repro lint --program``) register from
 :mod:`repro.lint.program`:
@@ -38,6 +41,7 @@ from repro.lint.program.taint import NondeterminismFlow
 from repro.lint.rules.config import ConfigFlagCoverage
 from repro.lint.rules.exact import ExactArithPurity
 from repro.lint.rules.ledger import LedgerDiscipline
+from repro.lint.rules.simclock import SimClockDiscipline
 from repro.lint.rules.spans import SpanLabelStability
 from repro.lint.rules.telemetry import TelemetryDiscipline
 from repro.lint.rules.tracing import TraceDiscipline
@@ -49,6 +53,7 @@ __all__ = [
     "LedgerDiscipline",
     "NondeterminismFlow",
     "SchemaLiteralConsistency",
+    "SimClockDiscipline",
     "SpanLabelStability",
     "TelemetryDiscipline",
     "TraceDiscipline",

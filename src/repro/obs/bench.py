@@ -83,7 +83,7 @@ def validate_bench_trajectory(payload: Any) -> None:
 class BenchSpec:
     """One bench workload: what to run and which baseline gates it."""
 
-    workload: str  # "micro" | "bootstrap" | "helr" | "resnet" | "memsim" | "sweep"
+    workload: str  # "micro" | "bootstrap" | "helr" | "resnet" | "memsim" | "sweep" | "serve"
     params: str  # parameter-set name in repro.cli._PARAM_SETS
     config: str  # MAD config name in repro.cli._CONFIGS
     cache_mb: Optional[float] = None
@@ -108,6 +108,7 @@ DEFAULT_SPECS: Tuple[BenchSpec, ...] = (
     BenchSpec("resnet", "optimal", "all", cache_mb=256.0, design="BTS"),
     BenchSpec("memsim", "baseline", "caching", cache_mb=32.0),
     BenchSpec("sweep", "baseline", "all"),
+    BenchSpec("serve", "optimal", "all"),
 )
 
 
@@ -234,6 +235,47 @@ def sweep_micro_cost(params, config):
     return total
 
 
+def serve_micro_cost(params, config):
+    """Traced serving micro-workload: the ``micro`` scenario, one fleet.
+
+    Runs the registered two-tenant ``micro`` scenario's request stream
+    (seed 0) on a fixed 8192-multiplier / 32 MB / 1 TB/s design carrying
+    ``params``, through the full event loop — arrivals, batching,
+    level-budget bootstraps, cache partitioning.  The simulator records
+    one cost per tenant span, so the gated total covers the entire
+    serving pipeline: drift in arrival generation, batch formation,
+    bootstrap triggering or pricing all move the committed numbers.
+    Latency percentiles are simulated time and never enter the gate.
+    """
+    from repro.hardware.design import HardwareDesign
+    from repro.serve.scenario import SCENARIOS
+    from repro.serve.simulator import simulate
+
+    scenario = SCENARIOS["micro"]
+    fleet = scenario.fleets[0]
+    design = HardwareDesign(
+        name="serve-bench",
+        modular_multipliers=8192,
+        on_chip_mb=32.0,
+        bandwidth_gb_s=1000.0,
+        params=params,
+    )
+    result = simulate(
+        fleet_name="serve-bench",
+        design=design,
+        devices=fleet.devices,
+        tenants=scenario.tenants,
+        duration_s=scenario.duration_s,
+        seed=0,
+        scenario=scenario.name,
+        config=config,
+        scheduler=fleet.scheduler,
+        cache_policy=fleet.cache_policy,
+        batch=fleet.batch,
+    )
+    return result.total_cost
+
+
 def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
     """(zero-arg traced runner, workload display name) for a spec."""
     from repro.cli import _CONFIGS, _PARAM_SETS
@@ -247,6 +289,8 @@ def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
         return lambda: primitive_micro_cost(params, config, cache), "micro"
     if spec.workload == "sweep":
         return lambda: sweep_micro_cost(params, config), "sweep"
+    if spec.workload == "serve":
+        return lambda: serve_micro_cost(params, config), "serve"
     if spec.workload == "memsim":
         return (
             lambda: memsim_micro_cost(params, config, spec.cache_mb or 32.0),

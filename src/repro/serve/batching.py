@@ -1,0 +1,81 @@
+"""Same-parameter batching: amortizing switching-key traffic.
+
+Fig. 3 of the paper shows switching-key reads are the one DRAM stream
+caching cannot shrink — but a *server* can: requests of the same tenant
+and kind run under the same evaluation keys, so a batch of ``k``
+requests streams the ksk material once.  :func:`batched_cost` prices
+exactly that: ciphertext/plaintext traffic and compute scale by ``k``
+(each request still moves its own operands), while ``key_read`` stays
+at the unit cost.  The batch is built by constructing fresh
+:class:`~repro.perf.events.MemTraffic`/:class:`~repro.perf.events.CostReport`
+objects — cost fields are never mutated (LedgerDiscipline).
+
+Batch formation is a *window* policy, decided by the simulator: a
+request becomes dispatchable once it has waited ``window_s`` (giving
+same-key followers a chance to arrive) or once ``max_batch`` requests
+of its key are queued, whichever comes first.  ``window_s = 0`` degrades
+to opportunistic batching (batch whatever is already queued).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.perf.events import CostReport, MemTraffic, OpCount
+from repro.serve.requests import Request
+
+__all__ = ["BatchPolicy", "batch_key", "batched_cost", "key_reads_saved"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How a fleet forms batches."""
+
+    window_s: float = 0.0  # max time a head request waits for followers
+    max_batch: int = 8  # requests per batch, >= 1
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+def batch_key(request: Request) -> Tuple[str, str]:
+    """Requests batch iff they share ``(tenant, kind)``.
+
+    Same tenant implies the same parameter set and cache slice; same
+    kind implies the same evaluation-key working set — the conditions
+    under which ksk amortization is sound.
+    """
+    return (request.tenant, request.kind)
+
+
+def batched_cost(unit: CostReport, size: int) -> CostReport:
+    """Cost of a batch of ``size`` requests with unit cost ``unit``.
+
+    Compute and ciphertext/plaintext traffic are per-request; the
+    switching-key stream is read once for the whole batch.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    return CostReport(
+        ops=OpCount(
+            mults=unit.ops.mults * size,
+            adds=unit.ops.adds * size,
+        ),
+        traffic=MemTraffic(
+            ct_read=unit.traffic.ct_read * size,
+            ct_write=unit.traffic.ct_write * size,
+            key_read=unit.traffic.key_read,
+            pt_read=unit.traffic.pt_read * size,
+        ),
+    )
+
+
+def key_reads_saved(unit: CostReport, size: int) -> int:
+    """Switching-key bytes a batch of ``size`` avoids versus unbatched."""
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    return unit.traffic.key_read * (size - 1)

@@ -1,0 +1,67 @@
+"""Per-tenant on-chip-cache partitioning.
+
+A serving accelerator's on-chip memory is the contended resource the
+paper is about: Fig. 2's optimization rungs each require a capacity
+threshold (O(1) digits < O(beta) digits < O(alpha) limbs < limb
+re-ordering < whole ciphertexts), so *how the fleet splits its SRAM
+between tenants* decides which rungs each tenant's requests run at.
+Three policies:
+
+* ``shared``   — no isolation: every tenant prices against the full
+  on-chip capacity (an optimistic upper bound that ignores conflict
+  misses between tenants).
+* ``equal``    — static partition into ``1/n`` slices.
+* ``weighted`` — static partition proportional to tenant weights (the
+  same weights weighted-fair queueing uses for service time).
+
+Slices are :class:`repro.perf.CacheModel` instances, so a tenant's
+capacity feeds the exact fit predicates the cost model already uses —
+no new capacity logic is introduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.perf import CacheModel
+from repro.serve.requests import TenantSpec
+
+__all__ = ["CACHE_POLICIES", "partition_cache"]
+
+#: Recognised cache-partition policies.
+CACHE_POLICIES: Tuple[str, ...] = ("shared", "equal", "weighted")
+
+
+def partition_cache(
+    policy: str,
+    on_chip_mb: float,
+    tenants: Sequence[TenantSpec],
+) -> Dict[str, Optional[CacheModel]]:
+    """Tenant name -> cache slice under ``policy``.
+
+    Raises ValueError for unknown policies or non-positive capacity.
+    """
+    if policy not in CACHE_POLICIES:
+        raise ValueError(
+            f"unknown cache policy {policy!r}; "
+            f"choose from {', '.join(CACHE_POLICIES)}"
+        )
+    if on_chip_mb <= 0:
+        raise ValueError("on_chip_mb must be positive")
+    if not tenants:
+        raise ValueError("partitioning needs at least one tenant")
+    if policy == "shared":
+        shared = CacheModel.from_mb(on_chip_mb)
+        return {tenant.name: shared for tenant in tenants}
+    if policy == "equal":
+        slice_mb = on_chip_mb / len(tenants)
+        return {
+            tenant.name: CacheModel.from_mb(slice_mb) for tenant in tenants
+        }
+    total_weight = sum(tenant.weight for tenant in tenants)
+    return {
+        tenant.name: CacheModel.from_mb(
+            on_chip_mb * tenant.weight / total_weight
+        )
+        for tenant in tenants
+    }

@@ -1,0 +1,168 @@
+"""Tenants, requests and the per-kind cost catalog.
+
+A request is one unit of client work: a homomorphic primitive
+(``mult``/``rotate``/``key_switch``) or a whole application inference
+(``helr``/``resnet``), priced through the existing cost model — the
+serving simulator introduces *no* cost formulas of its own.  Primitive
+requests are priced by :class:`repro.perf.PrimitiveCosts` at the same
+representative level the bench micro-workload uses; application
+requests by :func:`repro.apps.workload_cost`; ``bootstrap`` by
+:class:`repro.perf.BootstrapModel`.  All pricing happens under the
+tenant's *cache slice* (see :mod:`repro.serve.partition`), which is what
+makes partitioning bite: a tenant squeezed below a Fig. 2 rung loses
+that rung's optimization, exactly as the paper's ladder predicts.
+
+Level budgeting: each primitive kind consumes modulus-chain levels
+(``mult`` rescales, ``rotate``/``key_switch`` do not); when a tenant's
+cumulative consumption crosses its ``level_budget`` the simulator
+enqueues a ``bootstrap`` request on the tenant's behalf.  Application
+kinds consume no budget — their workload counts already include their
+own bootstrap invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs import state as obs
+from repro.params import CkksParams
+from repro.perf import CacheModel, MADConfig
+from repro.perf.events import CostReport
+from repro.serve.arrivals import ArrivalProcess
+
+__all__ = [
+    "KIND_LEVELS",
+    "PricingCatalog",
+    "Request",
+    "TenantSpec",
+    "WORKLOAD_KINDS",
+    "price_kind",
+]
+
+#: Modulus-chain levels one request of each kind consumes.
+KIND_LEVELS: Dict[str, int] = {
+    "mult": 1,  # rescale after the multiplication
+    "rotate": 0,
+    "key_switch": 0,
+    "helr": 0,  # application counts include their own bootstraps
+    "resnet": 0,
+    "bootstrap": 0,
+}
+
+#: Client-schedulable workload kinds (``bootstrap`` is simulator-internal).
+WORKLOAD_KINDS: Tuple[str, ...] = (
+    "mult",
+    "rotate",
+    "key_switch",
+    "helr",
+    "resnet",
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: traffic law, workload mix and fairness weight."""
+
+    name: str
+    arrival: ArrivalProcess
+    #: Weighted workload mix, ``((kind, weight), ...)``.
+    mix: Tuple[Tuple[str, float], ...]
+    weight: float = 1.0  # weighted-fair-queueing share
+    level_budget: int = 12  # levels consumed before a bootstrap triggers
+    sla_p99_ms: Optional[float] = None  # reported-against target, never gated
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.level_budget <= 0:
+            raise ValueError("level_budget must be positive")
+        known = set(WORKLOAD_KINDS)
+        for kind, weight in self.mix:
+            if kind not in known:
+                raise ValueError(
+                    f"unknown workload kind {kind!r}; "
+                    f"choose from {', '.join(WORKLOAD_KINDS)}"
+                )
+            if weight <= 0:
+                raise ValueError(f"mix weight for {kind!r} must be positive")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work flowing through the simulator."""
+
+    seq: int  # global arrival sequence number (deterministic tie-break)
+    tenant: str
+    kind: str
+    arrival_s: float
+    internal: bool = False  # True for simulator-enqueued bootstraps
+
+
+def price_kind(
+    kind: str,
+    params: CkksParams,
+    config: MADConfig,
+    cache: Optional[CacheModel],
+) -> CostReport:
+    """Unit :class:`CostReport` of one request of ``kind``.
+
+    Priced under suppressed telemetry: catalog construction is a pure
+    lookup-table build, and its cache-fit probe metrics would otherwise
+    differ between memoized and recomputed paths.
+    """
+    from repro.apps import helr_training, resnet20_inference, workload_cost
+    from repro.perf import BootstrapModel, PrimitiveCosts
+
+    with obs.suppressed():
+        if kind == "bootstrap":
+            return BootstrapModel(params, config, cache).total_cost()
+        if kind in ("mult", "rotate", "key_switch"):
+            costs = PrimitiveCosts(params, config, cache)
+            level = max(2, round(params.max_limbs * 0.6))
+            unit = getattr(costs, kind)
+            result = unit(level)
+            assert isinstance(result, CostReport)
+            return result
+        if kind == "helr":
+            workload = helr_training(params, iterations=1)
+        elif kind == "resnet":
+            workload = resnet20_inference(params)
+        else:
+            raise ValueError(
+                f"unknown workload kind {kind!r}; "
+                f"choose from {', '.join(WORKLOAD_KINDS)} or 'bootstrap'"
+            )
+        return workload_cost(workload, params, config, cache).total
+
+
+class PricingCatalog:
+    """Per-(tenant, kind) unit costs for one fleet configuration.
+
+    Built once per simulation from the tenants' cache slices; the
+    simulator only ever reads it, so every dispatch prices identically
+    no matter which worker process runs the grid point.
+    """
+
+    def __init__(
+        self,
+        params: CkksParams,
+        config: MADConfig,
+        slices: Dict[str, Optional[CacheModel]],
+    ) -> None:
+        self.params = params
+        self.config = config
+        self._slices = slices
+        self._units: Dict[Tuple[str, str], CostReport] = {}
+
+    def unit_cost(self, tenant: str, kind: str) -> CostReport:
+        key = (tenant, kind)
+        cached = self._units.get(key)
+        if cached is None:
+            cached = price_kind(
+                kind, self.params, self.config, self._slices[tenant]
+            )
+            self._units[key] = cached
+        return cached

@@ -1,0 +1,375 @@
+"""The discrete-event serving simulator: virtual clock, event heap.
+
+Time here is *simulated* seconds on an event heap — the module never
+reads a wall clock (SimClockDiscipline lints ``serve/`` for ``time``/
+``datetime`` imports), so a run is a pure function of ``(scenario,
+fleet, seed)`` and repeats bit-identically anywhere.
+
+Mechanics per event pop, in deterministic order (completions before
+arrivals before wakes at equal timestamps, then a global event
+sequence number):
+
+* **arrival** — the request enters the fleet's scheduler.
+* **completion** — the device returns to the idle pool; each request in
+  the finished batch records its latency; client requests consume their
+  kind's modulus-chain levels and, on crossing the tenant's
+  ``level_budget``, enqueue one ``bootstrap`` request on the tenant's
+  behalf (completed bootstraps restore the budget).
+* **dispatch** (after every event) — while a device is idle and the
+  scheduler's head request is *ready* (it has waited out the batching
+  window, or ``max_batch`` same-key requests are queued), the head plus
+  its same-``(tenant, kind)`` followers form a batch, priced by
+  :func:`~repro.serve.batching.batched_cost` and timed by the existing
+  roofline :func:`~repro.hardware.runtime.estimate_runtime`.  Batches
+  always run on the lowest-numbered idle device.
+
+Costs aggregate exclusively by :class:`~repro.perf.events.CostReport`
+addition; the simulator holds no raw byte/op counters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.design import HardwareDesign
+from repro.hardware.runtime import estimate_runtime
+from repro.obs import state as obs
+from repro.perf import MADConfig
+from repro.perf.events import CostReport
+from repro.serve.batching import (
+    BatchPolicy,
+    batch_key,
+    batched_cost,
+)
+from repro.serve.partition import partition_cache
+from repro.serve.requests import (
+    KIND_LEVELS,
+    PricingCatalog,
+    Request,
+    TenantSpec,
+)
+from repro.serve.arrivals import tenant_arrivals
+from repro.serve.schedulers import Scheduler, make_scheduler
+from repro.serve.stats import LatencySummary, summarize_latencies
+
+__all__ = ["SimResult", "TenantResult", "simulate"]
+
+#: Event-type codes; lower pops first at equal timestamps.
+_COMPLETE = 0
+_ARRIVAL = 1
+_WAKE = 2
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    """One tenant's serving outcome."""
+
+    tenant: str
+    offered: int
+    completed: int
+    bootstraps: int
+    latency: Optional[LatencySummary]  # None when nothing completed
+    cost: CostReport
+    sla_p99_ms: Optional[float]
+
+    @property
+    def sla_met(self) -> Optional[bool]:
+        if self.sla_p99_ms is None or self.latency is None:
+            return None
+        return self.latency.p99_s * 1e3 <= self.sla_p99_ms
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """One fleet configuration's serving outcome (all tenants)."""
+
+    fleet: str
+    design: str
+    devices: int
+    scheduler: str
+    cache_policy: str
+    duration_s: float
+    makespan_s: float
+    offered: int
+    completed: int
+    bootstraps: int
+    batches: int
+    batched_requests: int
+    busy_device_seconds: float
+    total_cost: CostReport
+    unbatched_cost: CostReport  # what the same traffic costs without batching
+    tenants: Tuple[TenantResult, ...]
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        capacity = self.devices * self.makespan_s
+        return self.busy_device_seconds / capacity if capacity > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def key_read_saved_fraction(self) -> float:
+        """Fraction of unbatched switching-key traffic batching removed."""
+        unbatched = self.unbatched_cost.traffic.key_read
+        if unbatched == 0:
+            return 0.0
+        return 1.0 - self.total_cost.traffic.key_read / unbatched
+
+
+@dataclass
+class _TenantState:
+    """Mutable per-tenant bookkeeping inside one simulation."""
+
+    offered: int = 0
+    completed: int = 0
+    bootstraps: int = 0
+    levels_used: int = 0
+    bootstrap_pending: bool = False
+    latencies: List[float] = field(default_factory=list)
+    cost: CostReport = field(default_factory=CostReport)
+
+
+def _build_requests(
+    tenants: Sequence[TenantSpec],
+    duration_s: float,
+    seed: int,
+    scenario: str,
+) -> List[Request]:
+    """All client requests of the run, in canonical arrival order."""
+    stream: List[Tuple[float, int, str]] = []
+    for position, tenant in enumerate(tenants):
+        seed_key = f"{seed}:{scenario}:{tenant.name}"
+        for when, kind in tenant_arrivals(
+            tenant.arrival, tenant.mix, duration_s, seed_key
+        ):
+            stream.append((when, position, kind))
+    stream.sort()
+    return [
+        Request(
+            seq=index,
+            tenant=tenants[position].name,
+            kind=kind,
+            arrival_s=when,
+        )
+        for index, (when, position, kind) in enumerate(stream)
+    ]
+
+
+def simulate(
+    *,
+    fleet_name: str,
+    design: HardwareDesign,
+    devices: int,
+    tenants: Sequence[TenantSpec],
+    duration_s: float,
+    seed: int,
+    scenario: str,
+    config: Optional[MADConfig] = None,
+    scheduler: str = "fifo",
+    cache_policy: str = "equal",
+    batch: Optional[BatchPolicy] = None,
+) -> SimResult:
+    """Run one fleet configuration to completion (queue fully drained)."""
+    if devices < 1:
+        raise ValueError("a fleet needs at least one device")
+    if not tenants:
+        raise ValueError("a scenario needs at least one tenant")
+    config = config if config is not None else MADConfig.all()
+    batch = batch if batch is not None else BatchPolicy()
+
+    slices = partition_cache(cache_policy, design.on_chip_mb, tenants)
+    catalog = PricingCatalog(design.params, config, slices)
+
+    # Per-(tenant, kind) roofline service estimates, computed up front so
+    # scheduler decisions never re-enter the cost model mid-run.
+    estimates: Dict[Tuple[str, str], float] = {}
+    for tenant in tenants:
+        kinds = sorted({kind for kind, _ in tenant.mix} | {"bootstrap"})
+        for kind in kinds:
+            unit = catalog.unit_cost(tenant.name, kind)
+            estimates[(tenant.name, kind)] = estimate_runtime(
+                unit, design
+            ).seconds
+
+    weights = {tenant.name: tenant.weight for tenant in tenants}
+    queue: Scheduler = make_scheduler(
+        scheduler, lambda r: estimates[(r.tenant, r.kind)], weights
+    )
+    by_name = {tenant.name: tenant for tenant in tenants}
+    states: Dict[str, _TenantState] = {
+        tenant.name: _TenantState() for tenant in tenants
+    }
+
+    requests = _build_requests(tenants, duration_s, seed, scenario)
+    next_seq = len(requests)
+
+    #: (time, type_code, event_seq, payload)
+    events: List[Tuple[float, int, int, Any]] = []
+    event_seq = 0
+    for request in requests:
+        states[request.tenant].offered += 1
+        heapq.heappush(
+            events, (request.arrival_s, _ARRIVAL, event_seq, request)
+        )
+        event_seq += 1
+
+    idle: List[int] = list(range(devices))
+    heapq.heapify(idle)
+    pending: Dict[Tuple[str, str], int] = {}
+
+    total = CostReport()
+    unbatched = CostReport()
+    busy_device_seconds = 0.0
+    makespan = 0.0
+    batches = 0
+    batched_requests = 0
+    completed = 0
+    bootstraps_done = 0
+
+    def dispatch(now: float) -> None:
+        nonlocal event_seq, total, unbatched, busy_device_seconds
+        nonlocal batches, batched_requests
+        while idle and len(queue):
+            head = queue.peek()
+            assert head is not None
+            key = batch_key(head)
+            ready_at = head.arrival_s + batch.window_s
+            if now < ready_at and pending.get(key, 0) < batch.max_batch:
+                # Hold for followers; wake when the window closes.
+                heapq.heappush(events, (ready_at, _WAKE, event_seq, None))
+                event_seq += 1
+                return
+            head = queue.pop()
+            group = queue.take_matching(
+                head, batch.max_batch, lambda r: batch_key(r) == key
+            )
+            pending[key] = pending.get(key, 0) - len(group)
+            unit = catalog.unit_cost(head.tenant, head.kind)
+            cost = batched_cost(unit, len(group))
+            seconds = estimate_runtime(cost, design).seconds
+            device = heapq.heappop(idle)
+            heapq.heappush(
+                events, (now + seconds, _COMPLETE, event_seq, (device, group))
+            )
+            event_seq += 1
+            total = total + cost
+            unbatched = unbatched + unit.scaled(len(group))
+            states[head.tenant].cost = states[head.tenant].cost + cost
+            busy_device_seconds += seconds
+            batches += 1
+            batched_requests += len(group)
+            obs.count("serve.batches")
+
+    def complete(now: float, device: int, group: List[Request]) -> None:
+        nonlocal event_seq, completed, bootstraps_done, makespan
+        heapq.heappush(idle, device)
+        makespan = max(makespan, now)
+        for request in group:
+            state = states[request.tenant]
+            if request.internal:
+                bootstraps_done += 1
+                state.bootstraps += 1
+                state.levels_used = 0
+                state.bootstrap_pending = False
+                obs.count("serve.bootstraps")
+                continue
+            completed += 1
+            state.completed += 1
+            state.latencies.append(now - request.arrival_s)
+            state.levels_used += KIND_LEVELS[request.kind]
+            obs.count("serve.requests.completed")
+        leader = group[0]
+        state = states[leader.tenant]
+        spec = by_name[leader.tenant]
+        if (
+            state.levels_used >= spec.level_budget
+            and not state.bootstrap_pending
+            and spec.level_budget > 0
+        ):
+            state.bootstrap_pending = True
+            boot = Request(
+                seq=next_boot_seq(),
+                tenant=leader.tenant,
+                kind="bootstrap",
+                arrival_s=now,
+                internal=True,
+            )
+            enqueue(boot)
+
+    def next_boot_seq() -> int:
+        nonlocal next_seq
+        next_seq += 1
+        return next_seq
+
+    def enqueue(request: Request) -> None:
+        key = batch_key(request)
+        pending[key] = pending.get(key, 0) + 1
+        queue.push(request)
+
+    with obs.span(
+        "serve:fleet",
+        fleet=fleet_name,
+        design=design.name,
+        devices=devices,
+        scheduler=scheduler,
+        cache_policy=cache_policy,
+    ):
+        while events:
+            now, code, _, payload = heapq.heappop(events)
+            if code == _ARRIVAL:
+                enqueue(payload)
+            elif code == _COMPLETE:
+                device, group = payload
+                complete(now, device, group)
+            dispatch(now)
+
+        tenant_rows: List[TenantResult] = []
+        for tenant in tenants:
+            state = states[tenant.name]
+            summary = (
+                summarize_latencies(state.latencies)
+                if state.latencies
+                else None
+            )
+            if obs.tracing_enabled():
+                with obs.span("serve:tenant", tenant=tenant.name):
+                    obs.record_cost(state.cost)
+            tenant_rows.append(
+                TenantResult(
+                    tenant=tenant.name,
+                    offered=state.offered,
+                    completed=state.completed,
+                    bootstraps=state.bootstraps,
+                    latency=summary,
+                    cost=state.cost,
+                    sla_p99_ms=tenant.sla_p99_ms,
+                )
+            )
+
+    return SimResult(
+        fleet=fleet_name,
+        design=design.name,
+        devices=devices,
+        scheduler=scheduler,
+        cache_policy=cache_policy,
+        duration_s=duration_s,
+        makespan_s=makespan,
+        offered=len(requests),
+        completed=completed,
+        bootstraps=bootstraps_done,
+        batches=batches,
+        batched_requests=batched_requests,
+        busy_device_seconds=busy_device_seconds,
+        total_cost=total,
+        unbatched_cost=unbatched,
+        tenants=tuple(tenant_rows),
+    )

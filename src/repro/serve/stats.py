@@ -1,0 +1,68 @@
+"""Latency statistics for serving runs: nearest-rank percentiles.
+
+SLA reporting quotes order statistics (p50/p99/p999), not moments: tail
+latency is what capacity planning is about ("serving heavy traffic from
+millions of users", ROADMAP north star).  The nearest-rank definition is
+used deliberately — it returns an *observed* sample, never an
+interpolated value, so two runs with identical latency multisets report
+bit-identical percentiles regardless of how the samples were ordered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["LatencySummary", "percentile", "summarize_latencies"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in (0, 100]).
+
+    Rank ``ceil(q/100 * n)`` of the sorted samples; the result is always
+    one of the observed values.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency population (seconds)."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    max_s: float
+
+    def as_row(self) -> Dict[str, float]:
+        """JSON row in milliseconds, the unit SLAs are quoted in."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.p50_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+            "p999_ms": self.p999_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+        }
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Summary statistics of a non-empty latency sample set."""
+    ordered = sorted(samples)
+    return LatencySummary(
+        count=len(ordered),
+        mean_s=sum(ordered) / len(ordered),
+        p50_s=percentile(ordered, 50),
+        p99_s=percentile(ordered, 99),
+        p999_s=percentile(ordered, 99.9),
+        max_s=ordered[-1],
+    )

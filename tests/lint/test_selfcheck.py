@@ -37,6 +37,7 @@ class TestTreeIsClean:
             "ConfigFlagCoverage",
             "ExactArithPurity",
             "LedgerDiscipline",
+            "SimClockDiscipline",
             "SpanLabelStability",
             "TelemetryDiscipline",
             "TraceDiscipline",

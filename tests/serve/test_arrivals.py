@@ -1,0 +1,108 @@
+"""Seeded arrival processes: determinism, shapes and validation."""
+
+import pytest
+
+from repro.serve.arrivals import ArrivalProcess, arrival_times, tenant_arrivals
+
+
+class TestArrivalTimes:
+    def test_same_seed_key_is_bit_identical(self):
+        process = ArrivalProcess(shape="poisson", rate_per_s=25.0)
+        first = arrival_times(process, 10.0, "0:micro:alpha")
+        second = arrival_times(process, 10.0, "0:micro:alpha")
+        assert first == second
+
+    def test_different_seed_keys_diverge(self):
+        process = ArrivalProcess(shape="poisson", rate_per_s=25.0)
+        assert arrival_times(process, 10.0, "0:micro:alpha") != arrival_times(
+            process, 10.0, "1:micro:alpha"
+        )
+
+    @pytest.mark.parametrize("shape", ["poisson", "bursty", "diurnal"])
+    def test_times_sorted_and_in_range(self, shape):
+        process = ArrivalProcess(shape=shape, rate_per_s=40.0)
+        times = arrival_times(process, 5.0, f"0:test:{shape}")
+        assert times == sorted(times)
+        assert all(0.0 <= when < 5.0 for when in times)
+
+    @pytest.mark.parametrize("shape", ["poisson", "diurnal"])
+    def test_mean_rate_roughly_respected(self, shape):
+        # Long horizon so the law of large numbers bites; the bound is
+        # loose (±30%) because this is a sanity check, not a statistics
+        # exam — but it catches off-by-rate_factor bugs cold.  Bursty is
+        # excluded: its rate_per_s is nominal, the hyperexponential mix
+        # deliberately shifts the realised mean.
+        process = ArrivalProcess(shape=shape, rate_per_s=20.0)
+        times = arrival_times(process, 100.0, f"0:rate:{shape}")
+        assert 1400 <= len(times) <= 2600
+
+    def test_bursty_has_heavier_gaps_than_poisson(self):
+        nominal = ArrivalProcess(shape="poisson", rate_per_s=20.0)
+        bursty = ArrivalProcess(shape="bursty", rate_per_s=20.0)
+        plain = arrival_times(nominal, 100.0, "0:tail:a")
+        heavy = arrival_times(bursty, 100.0, "0:tail:b")
+        gap = lambda ts: max(  # noqa: E731 - tiny local helper
+            b - a for a, b in zip(ts, ts[1:])
+        )
+        assert heavy and gap(heavy) > gap(plain)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            arrival_times(ArrivalProcess(), 0.0, "k")
+
+
+class TestArrivalProcessValidation:
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown arrival shape"):
+            ArrivalProcess(shape="uniform")
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            ArrivalProcess(rate_per_s=0.0)
+
+    def test_rejects_burst_factor_below_one(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            ArrivalProcess(shape="bursty", burst_factor=0.5)
+
+    def test_rejects_amplitude_of_one(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            ArrivalProcess(shape="diurnal", amplitude=1.0)
+
+
+class TestTenantArrivals:
+    MIX = (("mult", 2.0), ("rotate", 1.0))
+
+    def test_kinds_come_from_mix(self):
+        pairs = tenant_arrivals(ArrivalProcess(), self.MIX, 10.0, "0:s:t")
+        assert pairs
+        assert {kind for _, kind in pairs} <= {"mult", "rotate"}
+
+    def test_mix_change_keeps_arrival_times(self):
+        # The mix is drawn from an independent stream, so re-weighting
+        # the mix must not perturb the traffic shape.
+        narrow = tenant_arrivals(ArrivalProcess(), self.MIX, 10.0, "0:s:t")
+        wide = tenant_arrivals(
+            ArrivalProcess(),
+            (("mult", 1.0), ("rotate", 1.0), ("key_switch", 5.0)),
+            10.0,
+            "0:s:t",
+        )
+        assert [when for when, _ in narrow] == [when for when, _ in wide]
+
+    def test_mix_weights_shift_the_draw(self):
+        pairs = tenant_arrivals(
+            ArrivalProcess(rate_per_s=50.0),
+            (("mult", 99.0), ("rotate", 1.0)),
+            20.0,
+            "0:s:t",
+        )
+        kinds = [kind for _, kind in pairs]
+        assert kinds.count("mult") > kinds.count("rotate")
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tenant_arrivals(ArrivalProcess(), (), 1.0, "k")
+
+    def test_rejects_nonpositive_weight_total(self):
+        with pytest.raises(ValueError):
+            tenant_arrivals(ArrivalProcess(), (("mult", 0.0),), 1.0, "k")

@@ -1,0 +1,79 @@
+"""Batch pricing: ksk amortization without mutating cost ledgers."""
+
+import pytest
+
+from repro.perf.events import CostReport, MemTraffic, OpCount
+from repro.serve.batching import (
+    BatchPolicy,
+    batch_key,
+    batched_cost,
+    key_reads_saved,
+)
+from repro.serve.requests import Request
+
+UNIT = CostReport(
+    ops=OpCount(mults=100, adds=40),
+    traffic=MemTraffic(ct_read=800, ct_write=400, key_read=1600, pt_read=64),
+)
+
+
+class TestBatchPolicy:
+    def test_defaults_are_valid(self):
+        policy = BatchPolicy()
+        assert policy.window_s == 0.0 and policy.max_batch >= 1
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="window_s"):
+            BatchPolicy(window_s=-0.001)
+
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+
+
+class TestBatchKey:
+    def test_same_tenant_and_kind_share_a_key(self):
+        a = Request(seq=0, tenant="t", kind="mult", arrival_s=0.0)
+        b = Request(seq=1, tenant="t", kind="mult", arrival_s=0.5)
+        assert batch_key(a) == batch_key(b)
+
+    def test_kind_splits_the_key(self):
+        a = Request(seq=0, tenant="t", kind="mult", arrival_s=0.0)
+        b = Request(seq=1, tenant="t", kind="rotate", arrival_s=0.0)
+        assert batch_key(a) != batch_key(b)
+
+
+class TestBatchedCost:
+    def test_batch_of_one_is_the_unit_cost(self):
+        assert batched_cost(UNIT, 1) == UNIT
+
+    def test_compute_and_operand_traffic_scale_with_size(self):
+        batch = batched_cost(UNIT, 4)
+        assert batch.ops.mults == UNIT.ops.mults * 4
+        assert batch.ops.adds == UNIT.ops.adds * 4
+        assert batch.traffic.ct_read == UNIT.traffic.ct_read * 4
+        assert batch.traffic.ct_write == UNIT.traffic.ct_write * 4
+        assert batch.traffic.pt_read == UNIT.traffic.pt_read * 4
+
+    def test_key_reads_do_not_scale(self):
+        # The whole point: switching keys stream once per batch.
+        batch = batched_cost(UNIT, 8)
+        assert batch.traffic.key_read == UNIT.traffic.key_read
+
+    def test_original_report_is_untouched(self):
+        before = UNIT.traffic.key_read
+        batched_cost(UNIT, 8)
+        assert UNIT.traffic.key_read == before
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="batch size"):
+            batched_cost(UNIT, 0)
+
+    def test_savings_match_key_reads_saved(self):
+        size = 5
+        saved = key_reads_saved(UNIT, size)
+        unbatched = UNIT.traffic.key_read * size
+        assert unbatched - batched_cost(UNIT, size).traffic.key_read == saved
+
+    def test_no_savings_for_singleton(self):
+        assert key_reads_saved(UNIT, 1) == 0

@@ -1,0 +1,67 @@
+"""Cache partition policies: slices feed the existing CacheModel."""
+
+import pytest
+
+from repro.perf import CacheModel
+from repro.serve.arrivals import ArrivalProcess
+from repro.serve.partition import CACHE_POLICIES, partition_cache
+from repro.serve.requests import TenantSpec
+
+
+def tenant(name, weight=1.0):
+    return TenantSpec(
+        name=name,
+        arrival=ArrivalProcess(),
+        mix=(("mult", 1.0),),
+        weight=weight,
+    )
+
+
+TENANTS = (tenant("a", weight=3.0), tenant("b", weight=1.0))
+
+
+class TestPartitionCache:
+    def test_shared_gives_every_tenant_full_capacity(self):
+        slices = partition_cache("shared", 64.0, TENANTS)
+        full = CacheModel.from_mb(64.0)
+        assert slices["a"].size_bytes == full.size_bytes
+        assert slices["b"].size_bytes == full.size_bytes
+
+    def test_equal_splits_capacity_evenly(self):
+        slices = partition_cache("equal", 64.0, TENANTS)
+        half = CacheModel.from_mb(32.0)
+        assert slices["a"].size_bytes == half.size_bytes
+        assert slices["a"].size_bytes == slices["b"].size_bytes
+
+    def test_weighted_splits_by_tenant_weight(self):
+        slices = partition_cache("weighted", 64.0, TENANTS)
+        assert slices["a"].size_bytes == CacheModel.from_mb(
+            48.0
+        ).size_bytes
+        assert slices["b"].size_bytes == CacheModel.from_mb(
+            16.0
+        ).size_bytes
+
+    def test_partitioned_slices_sum_to_the_chip(self):
+        for policy in ("equal", "weighted"):
+            slices = partition_cache(policy, 64.0, TENANTS)
+            total = sum(s.size_bytes for s in slices.values())
+            assert total == CacheModel.from_mb(64.0).size_bytes
+
+    def test_every_policy_is_reachable(self):
+        assert set(CACHE_POLICIES) == {"shared", "equal", "weighted"}
+        for policy in CACHE_POLICIES:
+            slices = partition_cache(policy, 32.0, TENANTS)
+            assert set(slices) == {"a", "b"}
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            partition_cache("lru", 32.0, TENANTS)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="on_chip_mb"):
+            partition_cache("equal", 0.0, TENANTS)
+
+    def test_rejects_empty_tenant_list(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            partition_cache("equal", 32.0, ())

@@ -1,0 +1,144 @@
+"""serve_report.json: assembly, canonical layout and validation."""
+
+import copy
+import json
+
+import pytest
+
+from repro.serve import (
+    SCENARIOS,
+    build_serve_report,
+    load_serve_report,
+    run_scenario,
+    scenario_fingerprint,
+    validate_serve_report,
+    write_serve_report,
+)
+
+MICRO = SCENARIOS["micro"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_serve_report(MICRO, 0, run_scenario(MICRO, seed=0))
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert scenario_fingerprint(MICRO, 0) == scenario_fingerprint(MICRO, 0)
+
+    def test_seed_changes_the_fingerprint(self):
+        assert scenario_fingerprint(MICRO, 0) != scenario_fingerprint(MICRO, 1)
+
+    def test_is_hex_sha256(self):
+        digest = scenario_fingerprint(MICRO, 0)
+        assert len(digest) == 64
+        int(digest, 16)  # raises on non-hex
+
+
+class TestBuild:
+    def test_validates_on_construction(self, report):
+        validate_serve_report(report)  # must not raise
+
+    def test_identity_fields(self, report):
+        assert report["schema"] == "repro.serve/v1"
+        assert report["scenario"] == "micro"
+        assert report["seed"] == 0
+        assert report["config"] == MICRO.config
+        assert report["fingerprint"] == scenario_fingerprint(MICRO, 0)
+
+    def test_one_row_per_fleet_in_order(self, report):
+        assert [row["fleet"] for row in report["fleets"]] == [
+            fleet.name for fleet in MICRO.fleets
+        ]
+
+    def test_rows_carry_no_sweep_bookkeeping(self, report):
+        for row in report["fleets"]:
+            assert "scenario" not in row and "seed" not in row
+
+    def test_payload_is_byte_identical_across_runs(self, report):
+        again = build_serve_report(MICRO, 0, run_scenario(MICRO, seed=0))
+        strip = lambda r: {  # noqa: E731 - provenance carries timestamps
+            k: v for k, v in r.items() if k != "provenance"
+        }
+        assert json.dumps(strip(report), sort_keys=True) == json.dumps(
+            strip(again), sort_keys=True
+        )
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, report, tmp_path):
+        path = str(tmp_path / "serve_report.json")
+        write_serve_report(report, path)
+        assert load_serve_report(path) == report
+
+    def test_canonical_layout(self, report, tmp_path):
+        path = tmp_path / "serve_report.json"
+        write_serve_report(report, str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(report, indent=1, sort_keys=True) + "\n"
+
+    def test_load_missing_file_is_none(self, tmp_path):
+        assert load_serve_report(str(tmp_path / "absent.json")) is None
+
+
+class TestValidateRejects:
+    def broken(self, report, mutate):
+        clone = copy.deepcopy(report)
+        mutate(clone)
+        with pytest.raises(ValueError, match="invalid serve report"):
+            validate_serve_report(clone)
+
+    def test_not_an_object(self):
+        with pytest.raises(ValueError, match="not an object"):
+            validate_serve_report([])
+
+    def test_wrong_schema_id(self, report):
+        self.broken(report, lambda r: r.update(schema="repro.serve/v2"))
+
+    def test_missing_fingerprint(self, report):
+        self.broken(report, lambda r: r.pop("fingerprint"))
+
+    def test_malformed_fingerprint(self, report):
+        self.broken(report, lambda r: r.update(fingerprint="beef"))
+
+    def test_boolean_seed(self, report):
+        self.broken(report, lambda r: r.update(seed=True))
+
+    def test_empty_fleets(self, report):
+        self.broken(report, lambda r: r.update(fleets=[]))
+
+    def test_utilisation_above_one(self, report):
+        self.broken(
+            report, lambda r: r["fleets"][0].update(utilisation=1.5)
+        )
+
+    def test_negative_request_count(self, report):
+        self.broken(
+            report,
+            lambda r: r["fleets"][0]["requests"].update(completed=-1),
+        )
+
+    def test_saved_fraction_above_one(self, report):
+        self.broken(
+            report,
+            lambda r: r["fleets"][0]["batching"].update(
+                key_read_saved_fraction=1.2
+            ),
+        )
+
+    def test_missing_tenant_latency_keys(self, report):
+        def mutate(r):
+            r["fleets"][0]["tenants"][0]["latency"] = {"count": 1}
+
+        self.broken(report, mutate)
+
+    def test_non_boolean_sla_verdict(self, report):
+        def mutate(r):
+            r["fleets"][0]["tenants"][0]["sla"]["met"] = "yes"
+
+        self.broken(report, mutate)
+
+    def test_missing_provenance(self, report):
+        self.broken(report, lambda r: r.pop("provenance"))

@@ -1,0 +1,114 @@
+"""Scheduler disciplines: ordering, tie-breaks and wfq fairness."""
+
+import pytest
+
+from repro.serve.requests import Request
+from repro.serve.schedulers import SCHEDULER_NAMES, make_scheduler
+
+#: Fixed per-kind service estimates, so tests control sjf/wfq ordering.
+ESTIMATES = {"short": 0.001, "long": 0.010}
+
+
+def estimator(request):
+    return ESTIMATES[request.kind]
+
+
+def req(seq, tenant="t", kind="short", arrival_s=0.0):
+    return Request(seq=seq, tenant=tenant, kind=kind, arrival_s=arrival_s)
+
+
+def drain(queue):
+    order = []
+    while len(queue):
+        order.append(queue.pop().seq)
+    return order
+
+
+class TestConstruction:
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("lifo", estimator)
+
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_known_names_construct(self, name):
+        assert make_scheduler(name, estimator).name == name
+
+
+class TestFifo:
+    def test_pops_in_arrival_sequence(self):
+        queue = make_scheduler("fifo", estimator)
+        for seq in (3, 0, 2, 1):
+            queue.push(req(seq))
+        assert drain(queue) == [0, 1, 2, 3]
+
+    def test_peek_does_not_remove(self):
+        queue = make_scheduler("fifo", estimator)
+        queue.push(req(7))
+        assert queue.peek().seq == 7
+        assert len(queue) == 1
+
+    def test_peek_empty_is_none(self):
+        assert make_scheduler("fifo", estimator).peek() is None
+
+
+class TestSjf:
+    def test_shorter_estimate_wins(self):
+        queue = make_scheduler("sjf", estimator)
+        queue.push(req(0, kind="long"))
+        queue.push(req(1, kind="short"))
+        assert drain(queue) == [1, 0]
+
+    def test_equal_estimates_fall_back_to_sequence(self):
+        queue = make_scheduler("sjf", estimator)
+        for seq in (5, 2, 9):
+            queue.push(req(seq, kind="short"))
+        assert drain(queue) == [2, 5, 9]
+
+
+class TestWfq:
+    def test_heavier_weight_drains_more_of_a_backlog_prefix(self):
+        # Two tenants each queue 8 long requests; the weight-3 tenant
+        # should own roughly 3/4 of the first 8 dispatches.
+        queue = make_scheduler(
+            "wfq", estimator, weights={"heavy": 3.0, "light": 1.0}
+        )
+        seq = 0
+        for _ in range(8):
+            for tenant in ("heavy", "light"):
+                queue.push(req(seq, tenant=tenant, kind="long"))
+                seq += 1
+        first = [queue.pop().tenant for _ in range(8)]
+        assert first.count("heavy") == 6
+
+    def test_equal_weights_interleave(self):
+        queue = make_scheduler("wfq", estimator, weights={"a": 1.0, "b": 1.0})
+        seq = 0
+        for _ in range(4):
+            for tenant in ("a", "b"):
+                queue.push(req(seq, tenant=tenant, kind="long"))
+                seq += 1
+        order = [queue.pop().tenant for _ in range(8)]
+        assert order.count("a") == order.count("b") == 4
+
+    def test_unlisted_tenant_defaults_to_weight_one(self):
+        queue = make_scheduler("wfq", estimator, weights={})
+        queue.push(req(0, tenant="ghost", kind="short"))
+        assert queue.pop().seq == 0
+
+
+class TestTakeMatching:
+    def test_collects_only_matching_up_to_limit(self):
+        queue = make_scheduler("fifo", estimator)
+        for seq, kind in enumerate(["short", "long", "short", "short"]):
+            queue.push(req(seq, kind=kind))
+        head = queue.pop()
+        batch = queue.take_matching(head, 3, lambda r: r.kind == "short")
+        assert [r.seq for r in batch] == [0, 2, 3]
+
+    def test_non_matching_requests_stay_queued_in_order(self):
+        queue = make_scheduler("fifo", estimator)
+        for seq, kind in enumerate(["short", "long", "short", "long"]):
+            queue.push(req(seq, kind=kind))
+        head = queue.pop()
+        queue.take_matching(head, 4, lambda r: r.kind == "short")
+        assert drain(queue) == [1, 3]

@@ -1,0 +1,165 @@
+"""End-to-end simulator invariants on the micro scenario.
+
+The micro scenario (one BTS device, two tenants, 2 simulated seconds)
+runs in well under a second of host time, so every test here can afford
+a full drain-to-completion simulation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import BTS
+from repro.serve import (
+    SCENARIOS,
+    BatchPolicy,
+    run_scenario,
+    simulate,
+    simulate_fleet,
+)
+
+MICRO = SCENARIOS["micro"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_fleet(MICRO, MICRO.fleets[0], seed=0)
+
+
+class TestDeterminism:
+    def test_same_seed_is_identical(self, result):
+        again = simulate_fleet(MICRO, MICRO.fleets[0], seed=0)
+        assert again == result
+
+    def test_different_seed_changes_traffic(self, result):
+        other = simulate_fleet(MICRO, MICRO.fleets[0], seed=1)
+        assert other.offered != result.offered
+
+
+class TestConservation:
+    def test_every_offered_request_completes(self, result):
+        # The run drains the queue, so serving is lossless.
+        assert result.completed == result.offered
+        for tenant in result.tenants:
+            assert tenant.completed == tenant.offered
+
+    def test_fleet_totals_are_tenant_sums(self, result):
+        assert result.offered == sum(t.offered for t in result.tenants)
+        assert result.bootstraps == sum(t.bootstraps for t in result.tenants)
+
+    def test_tenant_costs_sum_to_the_fleet_ledger(self, result):
+        total = sum(
+            (t.cost for t in result.tenants), start=type(result.total_cost)()
+        )
+        assert total == result.total_cost
+
+    def test_makespan_covers_the_arrival_horizon(self, result):
+        assert result.makespan_s >= 0.0
+        assert result.duration_s == MICRO.duration_s
+
+
+class TestBatching:
+    def test_batching_saves_key_reads(self, result):
+        # bts-micro batches with a 1 ms window; some batches of size > 1
+        # must form at these rates, so the realised ksk traffic is
+        # strictly below the unbatched counterfactual.
+        assert result.mean_batch_size > 1.0
+        assert 0.0 < result.key_read_saved_fraction < 1.0
+        total = result.total_cost.traffic
+        unbatched = result.unbatched_cost.traffic
+        assert total.key_read < unbatched.key_read
+
+    def test_non_key_traffic_matches_unbatched(self, result):
+        # Batching amortizes only the switching-key stream.
+        total = result.total_cost.traffic
+        unbatched = result.unbatched_cost.traffic
+        assert total.ct_read == unbatched.ct_read
+        assert total.ct_write == unbatched.ct_write
+        assert total.pt_read == unbatched.pt_read
+
+    def test_no_batching_without_a_window(self):
+        fleet = dataclasses.replace(
+            MICRO.fleets[0], batch=BatchPolicy(window_s=0.0, max_batch=1)
+        )
+        solo = simulate_fleet(MICRO, fleet, seed=0)
+        assert solo.batched_requests == solo.batches  # every batch is size 1
+        assert solo.key_read_saved_fraction == 0.0
+        assert solo.total_cost == solo.unbatched_cost
+
+
+class TestBootstrapBudgets:
+    def test_level_budget_triggers_bootstraps(self, result):
+        assert result.bootstraps > 0
+
+    def test_larger_budget_means_fewer_bootstraps(self):
+        tenants = tuple(
+            dataclasses.replace(t, level_budget=1000) for t in MICRO.tenants
+        )
+        scenario = dataclasses.replace(
+            MICRO, name="micro-budget", tenants=tenants
+        )
+        relaxed = simulate_fleet(scenario, MICRO.fleets[0], seed=0)
+        tight = simulate_fleet(MICRO, MICRO.fleets[0], seed=0)
+        assert relaxed.bootstraps < tight.bootstraps
+
+    def test_bootstraps_are_not_counted_as_completed_requests(self, result):
+        assert result.completed == result.offered
+        assert result.bootstraps > 0  # yet completed stayed at offered
+
+
+class TestSlaAndUtilisation:
+    def test_latency_summaries_exist_for_active_tenants(self, result):
+        for tenant in result.tenants:
+            assert tenant.latency is not None
+            assert tenant.latency.count == tenant.completed
+            assert tenant.latency.p50_s <= tenant.latency.p99_s
+            assert tenant.latency.p99_s <= tenant.latency.p999_s
+
+    def test_sla_verdict_only_where_a_target_exists(self, result):
+        verdicts = {t.tenant: t.sla_met for t in result.tenants}
+        assert verdicts["beta"] is None  # beta declares no SLA
+        assert isinstance(verdicts["alpha"], bool)
+
+    def test_utilisation_is_a_fraction(self, result):
+        assert 0.0 < result.utilisation <= 1.0
+
+    def test_more_devices_cannot_slow_the_fleet_down(self):
+        one = simulate_fleet(MICRO, MICRO.fleets[0], seed=0)
+        two = simulate_fleet(
+            MICRO, dataclasses.replace(MICRO.fleets[0], devices=2), seed=0
+        )
+        assert two.makespan_s <= one.makespan_s
+
+
+class TestValidation:
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            simulate(
+                fleet_name="f",
+                design=BTS,
+                devices=0,
+                tenants=MICRO.tenants,
+                duration_s=1.0,
+                seed=0,
+                scenario="micro",
+            )
+
+    def test_rejects_empty_tenant_list(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            simulate(
+                fleet_name="f",
+                design=BTS,
+                devices=1,
+                tenants=(),
+                duration_s=1.0,
+                seed=0,
+                scenario="micro",
+            )
+
+
+class TestRunScenario:
+    def test_results_follow_fleet_order(self):
+        results = run_scenario(MICRO, seed=0)
+        assert [r.fleet for r in results] == [
+            fleet.name for fleet in MICRO.fleets
+        ]

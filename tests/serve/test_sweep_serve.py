@@ -1,0 +1,79 @@
+"""The serve.scenario sweep evaluator: grids, parity and presets.
+
+Capacity planning runs serving simulations through ``repro.sweep``;
+the contract is that a grid's rows are bit-identical whether evaluated
+serially or process-parallel, and identical to what the direct
+:func:`repro.serve.simulate_fleet` path reports.
+"""
+
+import pytest
+
+from repro.serve import SCENARIOS, fleet_with, simulate_fleet
+from repro.serve.report import fleet_row
+from repro.sweep import SweepAxis, SweepSpec, run_sweep
+from repro.sweep.presets import SWEEP_PRESETS
+
+
+def micro_spec():
+    return SweepSpec(
+        name="serve-micro-grid",
+        evaluator="serve.scenario",
+        axes=(SweepAxis("devices", (1, 2)),),
+        context={"scenario": "micro", "fleet": "bts-micro", "seed": 0},
+    )
+
+
+class TestServeEvaluator:
+    def test_rows_match_the_direct_simulation(self):
+        outcome = run_sweep(micro_spec())
+        scenario = SCENARIOS["micro"]
+        for row, devices in zip(outcome.rows, (1, 2)):
+            fleet = fleet_with(scenario.fleets[0], devices=devices)
+            direct = fleet_row(simulate_fleet(scenario, fleet, seed=0))
+            direct["scenario"] = "micro"
+            direct["seed"] = 0
+            assert row == direct
+
+    def test_parallel_rows_are_bit_identical_to_serial(self):
+        serial = run_sweep(micro_spec(), jobs=1)
+        parallel = run_sweep(micro_spec(), jobs=2)
+        assert serial.rows == parallel.rows
+
+    def test_unknown_fleet_preset_is_an_error(self):
+        spec = SweepSpec(
+            name="serve-bad-fleet",
+            evaluator="serve.scenario",
+            axes=(SweepAxis("devices", (1,)),),
+            context={"scenario": "micro", "fleet": "armada", "seed": 0},
+        )
+        with pytest.raises(Exception, match="unknown fleet preset"):
+            run_sweep(spec)
+
+    def test_axis_fleet_overrides_context_fleet(self):
+        spec = SweepSpec(
+            name="serve-fleet-axis",
+            evaluator="serve.scenario",
+            axes=(SweepAxis("fleet", ("bts-micro",)),),
+            context={"scenario": "micro", "fleet": "does-not-exist", "seed": 0},
+        )
+        (row,) = run_sweep(spec).rows
+        assert row["fleet"] == "bts-micro"
+
+
+class TestServeCapacityPreset:
+    def test_registered(self):
+        assert "serve-capacity" in SWEEP_PRESETS
+
+    def test_quick_grid_shape(self):
+        spec = SWEEP_PRESETS["serve-capacity"](True)
+        assert spec.evaluator == "serve.scenario"
+        assert [axis.name for axis in spec.axes] == [
+            "devices",
+            "cache_policy",
+        ]
+        # Quick keeps the grid at 4 points: 2 fleet sizes x 2 policies.
+        assert len(spec.axes[0].values) * len(spec.axes[1].values) == 4
+
+    def test_full_grid_includes_weighted_policy(self):
+        spec = SWEEP_PRESETS["serve-capacity"](False)
+        assert "weighted" in spec.axes[1].values

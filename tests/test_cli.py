@@ -509,3 +509,111 @@ class TestTopAndDashCommands:
         assert html.startswith("<!DOCTYPE html>")
         assert "http://" not in html and "https://" not in html
         assert "<svg" in html
+
+
+class TestServeCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "micro" in out and "mixed" in out
+
+    def test_micro_human_output(self, capsys):
+        assert main(["serve", "micro", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serve micro" in out
+        assert "bts-micro" in out
+        assert "rps" in out and "ksk saved" in out
+        # Per-tenant SLA lines: alpha declares a target, beta does not.
+        assert "alpha" in out and "beta" in out
+
+    def test_json_output_is_a_valid_report(self, capsys):
+        import json as json_module
+
+        from repro.serve import validate_serve_report
+
+        assert main(["serve", "micro", "--json"]) == 0
+        report = json_module.loads(capsys.readouterr().out)
+        validate_serve_report(report)
+        assert report["scenario"] == "micro"
+
+    def test_out_writes_validated_report(self, capsys, tmp_path):
+        from repro.serve import load_serve_report
+
+        path = tmp_path / "serve_report.json"
+        assert main(["serve", "micro", "--out", str(path)]) == 0
+        report = load_serve_report(str(path))
+        assert report is not None and report["seed"] == 0
+
+    def test_same_seed_reports_are_byte_identical_sans_provenance(
+        self, capsys, tmp_path
+    ):
+        import json as json_module
+
+        paths = [str(tmp_path / name) for name in ("a.json", "b.json")]
+        for path in paths:
+            assert main(["serve", "micro", "--out", path]) == 0
+        capsys.readouterr()
+        payloads = []
+        for path in paths:
+            with open(path) as handle:
+                report = json_module.load(handle)
+            report.pop("provenance")
+            payloads.append(
+                json_module.dumps(report, indent=1, sort_keys=True)
+            )
+        assert payloads[0] == payloads[1]
+
+    def test_jobs_two_matches_serial(self, capsys, tmp_path):
+        import json as json_module
+
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["serve", "micro", "--out", str(serial)]) == 0
+        assert (
+            main(["serve", "micro", "--jobs", "2", "--out", str(parallel)])
+            == 0
+        )
+        capsys.readouterr()
+
+        def stripped(path):
+            with open(path) as handle:
+                report = json_module.load(handle)
+            report.pop("provenance")
+            return report
+
+        assert stripped(serial) == stripped(parallel)
+
+    def test_events_log_is_valid(self, capsys, tmp_path):
+        import json as json_module
+
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", "micro", "--events", str(events)]) == 0
+        lines = [
+            json_module.loads(line)
+            for line in events.read_text().splitlines()
+        ]
+        assert lines
+        assert all(
+            line["schema"] == "repro.obs.events/v1" for line in lines
+        )
+        assert lines[-1]["type"] == "run_end"
+
+    def test_report_writes_validated_run_report(self, capsys, tmp_path):
+        import json as json_module
+
+        from repro.obs.export import validate_run_report
+
+        report_path = tmp_path / "run_report.json"
+        assert (
+            main(["serve", "micro", "--report", str(report_path)]) == 0
+        )
+        with open(report_path) as handle:
+            validate_run_report(json_module.load(handle))
+
+    def test_unknown_scenario_exits_with_guidance(self, capsys):
+        with pytest.raises(SystemExit, match="choose a serving scenario"):
+            main(["serve", "does-not-exist"])
+
+    def test_missing_scenario_exits_with_guidance(self):
+        with pytest.raises(SystemExit, match="choose a serving scenario"):
+            main(["serve"])
