@@ -143,30 +143,19 @@ class Bootstrapper:
             )
 
         encoder = context.encoder
-        # CoeffToSlot: slots z of the raised plaintext -> packed coefficient
-        # views.  embed(z) recovers the (scaled) coefficient vector exactly.
-        def coeff_real(z):
-            return encoder.embed(z)[:n].astype(np.complex128)
-
-        def coeff_imag(z):
-            return encoder.embed(z)[n:].astype(np.complex128)
-
-        # SlotToCoeff: packed coefficients w -> slot values of that
-        # coefficient vector.
-        def slots_of_packed(w):
-            coeffs = np.concatenate([w.real, w.imag])
-            return encoder.project(coeffs)
-
-        self.c2s_real = LinearTransform(*_r_linear_matrices(coeff_real, n))
-        self.c2s_imag = LinearTransform(*_r_linear_matrices(coeff_imag, n))
-        self.s2c = LinearTransform(*_r_linear_matrices(slots_of_packed, n))
-
         # Factored (multi-iteration) homomorphic DFT: the radix-2 special
         # FFT grouped into fft_iter stages of sparse-diagonal transforms,
         # exactly the structure whose cost the performance model attributes
         # to the paper's fftIter parameter.  The stages produce/consume the
         # coefficient packing in bit-reversed slot order, which EvalMod
-        # (slot-wise) is oblivious to.
+        # (slot-wise) is oblivious to.  The dense single-matrix transforms
+        # are built only on the non-factored path: probing the maps one
+        # basis vector at a time and extracting diagonals is O(n^2), which
+        # is fine at unit-test sizes and hopeless at bootstrap-sized rings
+        # — the factored path stays in diagonal space throughout.
+        self.c2s_real: Optional[LinearTransform] = None
+        self.c2s_imag: Optional[LinearTransform] = None
+        self.s2c: Optional[LinearTransform] = None
         self.c2s_stages: Optional[list] = None
         self.s2c_stages: Optional[list] = None
         if fft_iter is not None:
@@ -175,12 +164,37 @@ class Bootstrapper:
             fft = SpecialFft(encoder)
             self.c2s_stages = [
                 LinearTransform(stage)
-                for stage in fft.grouped_stages(fft_iter, inverse=True)
+                for stage in fft.grouped_stage_diagonals(
+                    fft_iter, inverse=True
+                )
             ]
             self.s2c_stages = [
                 LinearTransform(stage)
-                for stage in fft.grouped_stages(fft_iter)
+                for stage in fft.grouped_stage_diagonals(fft_iter)
             ]
+        else:
+            # CoeffToSlot: slots z of the raised plaintext -> packed
+            # coefficient views.  embed(z) recovers the (scaled)
+            # coefficient vector exactly.
+            def coeff_real(z):
+                return encoder.embed(z)[:n].astype(np.complex128)
+
+            def coeff_imag(z):
+                return encoder.embed(z)[n:].astype(np.complex128)
+
+            # SlotToCoeff: packed coefficients w -> slot values of that
+            # coefficient vector.
+            def slots_of_packed(w):
+                coeffs = np.concatenate([w.real, w.imag])
+                return encoder.project(coeffs)
+
+            self.c2s_real = LinearTransform(
+                *_r_linear_matrices(coeff_real, n)
+            )
+            self.c2s_imag = LinearTransform(
+                *_r_linear_matrices(coeff_imag, n)
+            )
+            self.s2c = LinearTransform(*_r_linear_matrices(slots_of_packed, n))
 
         self.evaluator = Evaluator(
             context,
@@ -195,10 +209,10 @@ class Bootstrapper:
     # ------------------------------------------------------------------
     def required_rotations(self):
         steps = set()
-        transforms = [self.c2s_real, self.c2s_imag, self.s2c]
         if self.c2s_stages is not None:
-            transforms.extend(self.c2s_stages)
-            transforms.extend(self.s2c_stages)
+            transforms = list(self.c2s_stages) + list(self.s2c_stages)
+        else:
+            transforms = [self.c2s_real, self.c2s_imag, self.s2c]
         for transform in transforms:
             steps.update(transform.required_rotations())
         return sorted(steps)

@@ -37,11 +37,19 @@ class Encoder:
         self.default_scale = default_scale
         two_n = 2 * degree
         self.rot_group = [pow(5, j, two_n) for j in range(self.slots)]
-        zeta = np.exp(1j * np.pi / degree)  # primitive 2N-th root of unity
-        exponents = np.outer(self.rot_group, np.arange(degree)) % two_n
-        # V[j, k] = zeta^{e_j * k}; decode is z = V c / Delta.
-        self._vandermonde = zeta ** exponents
-        self._vandermonde_h = self._vandermonde.conj().T
+        # The slot exponents e_j = 5^j mod 2N are odd, so evaluating at
+        # zeta^{e_j} is reading the odd-exponent outputs of a length-N
+        # twisted FFT: f(zeta^{2i+1}) = sum_k (c_k zeta^k) omega^{ik} with
+        # omega = zeta^2 the primitive N-th root.  embed/project therefore
+        # run in O(N log N) through numpy's FFT — the dense (slots x N)
+        # Vandermonde matrix this replaces cost O(N^2) memory and time and
+        # capped the functional stack at small N.
+        self._slot_index = np.asarray(
+            [(e - 1) // 2 for e in self.rot_group], dtype=np.intp
+        )
+        k = np.arange(degree)
+        self._zeta_pow = np.exp(1j * np.pi * k / degree)  # zeta^k
+        self._zeta_pow_conj = self._zeta_pow.conj()
 
     # ------------------------------------------------------------------
     def embed(self, values: Sequence[complex]) -> np.ndarray:
@@ -54,15 +62,22 @@ class Encoder:
         if z.shape != (self.slots,):
             raise ValueError(f"expected {self.slots} slot values, got {z.shape}")
         # c = (2/N) Re(V^H z): valid because the full 2N-th-root Vandermonde
-        # (our rows plus their conjugates) is orthogonal with norm N.
-        return (2.0 / self.degree) * (self._vandermonde_h @ z).real
+        # (our rows plus their conjugates) is orthogonal with norm N.  V^H z
+        # is the adjoint of the select-from-twisted-FFT evaluation: scatter
+        # the slot values to their odd-root indices and run a forward FFT.
+        u = np.zeros(self.degree, dtype=np.complex128)
+        u[self._slot_index] = z
+        return (2.0 / self.degree) * (self._zeta_pow_conj * np.fft.fft(u)).real
 
     def project(self, coeffs: Sequence[float]) -> np.ndarray:
         """Slot values of a real coefficient vector (scale 1)."""
         c = np.asarray(coeffs, dtype=np.float64)
         if c.shape != (self.degree,):
             raise ValueError(f"expected {self.degree} coefficients, got {c.shape}")
-        return self._vandermonde @ c
+        # f(zeta^{2i+1}) for all i via the twisted FFT (ifft carries the
+        # e^{+2*pi*i*ik/N} kernel), then select the slot exponents.
+        spectrum = np.fft.ifft(self._zeta_pow * c) * self.degree
+        return spectrum[self._slot_index]
 
     # ------------------------------------------------------------------
     def encode(

@@ -120,6 +120,62 @@ class Evaluator:
         )
         return self.rescale(product) if rescale else product
 
+    def pt_mult_at(
+        self,
+        ct: Ciphertext,
+        values: Sequence[complex],
+        target_scale: float,
+    ) -> Ciphertext:
+        """Plaintext multiply whose Rescale lands exactly on ``target_scale``.
+
+        The chain primes only approximate ``Delta``, so operands at
+        different depths carry drifted scales and their plaintext products
+        drift further apart — at bootstrap-sized rings (sparse prime
+        population near ``2^logq``) the drift exceeds any reasonable
+        addition tolerance.  Encoding ``values`` at
+        ``target_scale * q_l / ct.scale`` (``q_l`` being the modulus the
+        rescale drops) makes the result's true and declared scales both
+        ``target_scale`` regardless of which primes the operand has been
+        rescaled by.
+        """
+        if ct.num_limbs < 2:
+            raise ValueError(
+                "pt_mult_at needs a spare level for its rescale"
+            )
+        q_drop = ct.basis.moduli[-1]
+        pt_scale = target_scale * q_drop / ct.scale
+        pt = Plaintext(
+            self.context.encoder.encode(list(values), pt_scale), pt_scale
+        )
+        out = self.rescale(self.pt_mult(ct, pt, rescale=False))
+        return Ciphertext(out.c0, out.c1, target_scale)
+
+    def match_scale(
+        self,
+        ct: Ciphertext,
+        target_scale: float,
+        rtol: Optional[float] = None,
+    ) -> Ciphertext:
+        """Bring ``ct`` to ``target_scale``, spending one level if needed.
+
+        A no-op while the declared scale is already within ``rtol``
+        (default ``scale_rtol``) — the induced message error is bounded
+        by the actual mismatch, so the tolerance must be chosen against
+        the caller's error budget: EvalMod's Chebyshev recursion works
+        on O(1) basis values whose useful output is ~1e-3, so it passes
+        a far tighter ``rtol`` than the additive 5% default.  Beyond the
+        tolerance it multiplies by the constant one via
+        :meth:`pt_mult_at`, which costs one level off ``ct``'s chain —
+        the caller should therefore pass the *higher-level* operand of
+        an upcoming addition.
+        """
+        rtol = self.scale_rtol if rtol is None else rtol
+        if math.isclose(ct.scale, target_scale, rel_tol=rtol):
+            return ct
+        return self.pt_mult_at(
+            ct, [1.0] * self.context.slots, target_scale
+        )
+
     def mult(
         self,
         ct1: Ciphertext,

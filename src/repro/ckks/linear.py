@@ -24,7 +24,7 @@ an optional second matrix applied to the conjugated input:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,11 +42,12 @@ def matrix_diagonals(matrix: np.ndarray) -> Dict[int, np.ndarray]:
     n = matrix.shape[0]
     if matrix.shape != (n, n):
         raise ValueError(f"matrix must be square, got {matrix.shape}")
+    rows = np.arange(n)
     diagonals = {}
     for d in range(n):
-        diag = np.array([matrix[j, (j + d) % n] for j in range(n)])
+        diag = matrix[rows, (rows + d) % n]
         if np.max(np.abs(diag)) > _ZERO_DIAGONAL_TOL:
-            diagonals[d] = diag
+            diagonals[d] = diag.copy()
     return diagonals
 
 
@@ -54,24 +55,45 @@ class LinearTransform:
     """A (possibly conjugate-aware) homomorphic slot-linear transform.
 
     Args:
-        matrix: the ``n x n`` complex matrix ``M1``.
-        conj_matrix: optional ``M2`` applied to the conjugated input.
+        matrix: the ``n x n`` complex matrix ``M1``, or its non-zero
+            generalised diagonals as a ``{offset: diag}`` dict (the form
+            :meth:`repro.ckks.specialfft.SpecialFft.grouped_stage_diagonals`
+            produces — the only one that scales to bootstrap-sized rings,
+            since extracting diagonals from a dense matrix is ``O(n^2)``).
+        conj_matrix: optional ``M2`` applied to the conjugated input, in
+            either form.
         scale: plaintext encoding scale for the diagonals (defaults to the
             evaluator context's scale at apply time).
     """
 
     def __init__(
         self,
-        matrix: np.ndarray,
-        conj_matrix: Optional[np.ndarray] = None,
+        matrix: Union[np.ndarray, Dict[int, np.ndarray]],
+        conj_matrix: Optional[Union[np.ndarray, Dict[int, np.ndarray]]] = None,
         scale: Optional[float] = None,
     ):
-        self.diagonals = matrix_diagonals(matrix)
+        self.diagonals = self._to_diagonals(matrix)
         self.conj_diagonals = (
-            matrix_diagonals(conj_matrix) if conj_matrix is not None else {}
+            self._to_diagonals(conj_matrix) if conj_matrix is not None else {}
         )
-        self.slots = np.asarray(matrix).shape[0]
+        if self.diagonals:
+            self.slots = len(next(iter(self.diagonals.values())))
+        elif self.conj_diagonals:
+            self.slots = len(next(iter(self.conj_diagonals.values())))
+        else:
+            self.slots = np.asarray(matrix).shape[0]
         self.scale = scale
+
+    @staticmethod
+    def _to_diagonals(
+        matrix: Union[np.ndarray, Dict[int, np.ndarray]],
+    ) -> Dict[int, np.ndarray]:
+        if isinstance(matrix, dict):
+            return {
+                int(d): np.asarray(v, dtype=np.complex128)
+                for d, v in matrix.items()
+            }
+        return matrix_diagonals(matrix)
 
     # ------------------------------------------------------------------
     def required_rotations(self, method: str = "hoisted") -> List[int]:

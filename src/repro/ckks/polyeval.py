@@ -21,6 +21,16 @@ from repro.ckks.evaluator import Evaluator
 #: Coefficients below this magnitude are skipped during evaluation.
 _COEFF_TOL = 1e-13
 
+#: Scale-alignment no-op window for the Chebyshev recursion.  The basis
+#: values are O(1) while the useful EvalMod output is ~1e-3, so declared-
+#: scale mismatch feeds almost directly into relative slot error; the
+#: evaluator's additive 5% default is far too lax here (at N=2^14 the
+#: NTT primes are sparse enough that chain drift reaches several percent,
+#: which silently destroyed the bootstrap output).  Below 1e-4 the
+#: induced error is under the scheme's noise floor; above it we spend a
+#: level to re-target the scale exactly.
+_SCALE_MATCH_RTOL = 1e-4
+
 
 def chebyshev_fit(
     func: Callable[[np.ndarray], np.ndarray],
@@ -134,8 +144,17 @@ class ChebyshevEvaluator:
         if k % 2 == 0:
             # T_{2a} = 2 T_a^2 - 1.
             return ev.pt_add(doubled, [-1.0] * n)
-        # T_{a+b} = 2 T_a T_b - T_{a-b} with a - b = 1.
-        return ev.sub(doubled, self.power(1))
+        # T_{a+b} = 2 T_a T_b - T_{a-b} with a - b = 1.  T_1 sits many
+        # levels above the product, so its scale has been rescaled by
+        # different chain primes — align it to the product's scale (free
+        # while the drift is within tolerance, one of T_1's spare levels
+        # beyond that).
+        return ev.sub(
+            doubled,
+            ev.match_scale(
+                self.power(1), doubled.scale, rtol=_SCALE_MATCH_RTOL
+            ),
+        )
 
     def power(self, k: int) -> Ciphertext:
         """The cached encryption of ``T_k(t)``."""
@@ -182,23 +201,31 @@ class ChebyshevEvaluator:
         combined = ev.mult(hi_ct, self.power(s))
         if lo_ct is None:
             return combined
-        return ev.add(combined, lo_ct)
+        # lo_ct is shallower than hi_ct * T_s; align its (drifted) scale.
+        return ev.add(
+            combined,
+            ev.match_scale(lo_ct, combined.scale, rtol=_SCALE_MATCH_RTOL),
+        )
 
     def _evaluate_direct(self, coeffs: List[complex]) -> Optional[Ciphertext]:
         """Direct baby-polynomial sum ``sum c_k T_k`` for degree < m."""
         ev = self.evaluator
         n = ev.context.slots
+        # The powers sit at different levels, so a plain pt_mult would
+        # rescale each term by a *different* chain prime — target the
+        # context scale instead so every term is addable exactly.
+        target = ev.context.scale
         acc = None
         for k in range(1, len(coeffs)):
             if abs(coeffs[k]) < _COEFF_TOL:
                 continue
-            term = ev.pt_mult(self.power(k), [coeffs[k]] * n)
+            term = ev.pt_mult_at(self.power(k), [coeffs[k]] * n, target)
             acc = term if acc is None else ev.add(acc, term)
         if acc is None:
             if abs(coeffs[0]) < _COEFF_TOL:
                 return None
             # Constant-only series: encode it on a zero multiple of T_1.
-            acc = ev.pt_mult(self.power(1), [0.0] * n)
+            acc = ev.pt_mult_at(self.power(1), [0.0] * n, target)
         if abs(coeffs[0]) >= _COEFF_TOL:
             acc = ev.pt_add(acc, [coeffs[0]] * n)
         return acc

@@ -22,11 +22,38 @@ factors, inverted, in reverse order) consumes the identical ordering.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
 from repro.ckks.encoding import Encoder
+
+#: Composed diagonals with max-abs below this are structural zeros.
+_ZERO_DIAGONAL_TOL = 1e-12
+
+
+def compose_diagonals(
+    a: Dict[int, np.ndarray], b: Dict[int, np.ndarray], n: int
+) -> Dict[int, np.ndarray]:
+    """Generalised diagonals of ``A @ B`` from those of ``A`` and ``B``.
+
+    With ``diag_d[j] = M[j, (j+d) mod n]`` the product satisfies
+    ``diag_C[d][j] = sum diag_A[da][j] * diag_B[db][(j+da) mod n]`` over
+    ``da + db = d (mod n)`` — so sparse operators stay sparse without ever
+    materialising an ``n x n`` matrix.
+    """
+    out: Dict[int, np.ndarray] = {}
+    for da, va in a.items():
+        for db, vb in b.items():
+            d = (da + db) % n
+            term = va * np.roll(vb, -da)
+            if d in out:
+                out[d] = out[d] + term
+            else:
+                out[d] = term
+    return {
+        d: v for d, v in out.items() if np.max(np.abs(v)) > _ZERO_DIAGONAL_TOL
+    }
 
 
 def leaf_permutation(slots: int) -> List[int]:
@@ -64,9 +91,22 @@ class SpecialFft:
         if 2**self.levels != self.slots:
             raise ValueError("slot count must be a power of two")
         self.sigma = _split_recursive(list(range(2 * self.slots)))
-        self.level_matrices = [
-            self._build_level(t) for t in range(self.levels)
-        ]
+        self._level_matrices: List[np.ndarray] = []
+
+    @property
+    def level_matrices(self) -> List[np.ndarray]:
+        """Dense level operators, built on first access.
+
+        Only the dense single-matrix DFT path and the tests touch these;
+        the factored bootstrap works purely in diagonal space via
+        :meth:`grouped_stage_diagonals`, which is what keeps large slot
+        counts (``n = 2**13`` and up) feasible.
+        """
+        if not self._level_matrices:
+            self._level_matrices = [
+                self._build_level(t) for t in range(self.levels)
+            ]
+        return self._level_matrices
 
     # ------------------------------------------------------------------
     def _build_level(self, t: int) -> np.ndarray:
@@ -92,6 +132,86 @@ class SpecialFft:
                 matrix[bot, top] = 1.0
                 matrix[bot, bot] = -tw
         return matrix
+
+    # ------------------------------------------------------------------
+    def level_diagonals(
+        self, t: int, inverse: bool = False
+    ) -> Dict[int, np.ndarray]:
+        """Level ``t`` (or its inverse) as generalised diagonals.
+
+        Each butterfly level touches only offsets ``{0, +half, -half}``
+        with ``half = 2**t``; building the diagonals directly costs
+        ``O(n)`` instead of the ``O(n^2)`` dense operator.  The inverse of
+        the per-pair butterfly ``[[1, tw], [1, -tw]]`` is
+        ``[[1/2, 1/2], [1/(2 tw), -1/(2 tw)]]``.
+        """
+        n = self.slots
+        half = 2**t
+        n_cur = 4 * half
+        two_n_cur = 2 * n_cur
+        zeta = np.exp(2j * np.pi / two_n_cur)
+        tw_block = np.asarray(
+            [zeta ** pow(5, j, two_n_cur) for j in range(half)]
+        )
+        top = (np.arange(n).reshape(-1, 2 * half)[:, :half]).reshape(-1)
+        bot = top + half
+        tw = np.tile(tw_block, n // (2 * half))
+        diag: Dict[int, np.ndarray] = {
+            0: np.zeros(n, dtype=np.complex128),
+            half % n: np.zeros(n, dtype=np.complex128),
+            (n - half) % n: np.zeros(n, dtype=np.complex128),
+        }
+        if inverse:
+            diag[0][top] = 0.5
+            diag[0][bot] = -0.5 / tw
+            diag[half % n][top] = 0.5
+            diag[(n - half) % n][bot] = 0.5 / tw
+        else:
+            diag[0][top] = 1.0
+            diag[0][bot] = -tw
+            diag[half % n][top] = tw
+            diag[(n - half) % n][bot] = 1.0
+        return diag
+
+    def grouped_stage_diagonals(
+        self, fft_iter: int, inverse: bool = False
+    ) -> List[Dict[int, np.ndarray]]:
+        """The :meth:`grouped_stages` operators in diagonal space.
+
+        Same grouping and ordering contract as :meth:`grouped_stages`, but
+        each stage is returned as its non-zero generalised diagonals,
+        composed level-by-level without ever forming a dense matrix — the
+        representation :class:`repro.ckks.linear.LinearTransform` consumes
+        directly, and the only one that scales to bootstrap-sized rings.
+        """
+        if not 1 <= fft_iter <= self.levels:
+            raise ValueError(
+                f"fft_iter must be in [1, {self.levels}], got {fft_iter}"
+            )
+        n = self.slots
+        bounds = [
+            round(i * self.levels / fft_iter) for i in range(fft_iter + 1)
+        ]
+        identity = {0: np.ones(n, dtype=np.complex128)}
+        stages = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            product = identity
+            if inverse:
+                # inv(stage) = inv(L_lo) @ ... @ inv(L_{hi-1})
+                for t in range(hi - 1, lo - 1, -1):
+                    product = compose_diagonals(
+                        self.level_diagonals(t, inverse=True), product, n
+                    )
+            else:
+                # stage = L_{hi-1} @ ... @ L_lo
+                for t in range(lo, hi):
+                    product = compose_diagonals(
+                        self.level_diagonals(t), product, n
+                    )
+            stages.append(product)
+        if inverse:
+            stages.reverse()
+        return stages
 
     # ------------------------------------------------------------------
     def leaf_state(self, coeffs: np.ndarray) -> np.ndarray:

@@ -393,6 +393,33 @@ def _cmd_bench(args) -> int:
     return code if args.check or args.update else 0
 
 
+def _cmd_kernels(args) -> int:
+    """Differential parity (and optionally speedup) of the int64 kernels."""
+    from repro.kernels.check import (
+        render_report,
+        run_check,
+        validate_kernels_report,
+    )
+
+    degrees = [int(d.strip()) for d in args.degrees.split(",") if d.strip()]
+    if not degrees:
+        raise SystemExit(f"no ring degrees in {args.degrees!r}")
+    report = run_check(
+        degrees=degrees,
+        limbs=args.limbs,
+        repeats=args.repeats,
+        min_speedup=args.min_speedup,
+        parity_only=args.parity_only,
+        seed=args.seed,
+    )
+    validate_kernels_report(report)
+    if args.json:
+        _print_json(report)
+    else:
+        print(render_report(report))
+    return 0 if report["passed"] else 1
+
+
 def _cmd_memsim(args) -> int:
     from repro.memsim.validate import (
         LADDER_PRIMITIVES,
@@ -1005,6 +1032,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list bench workloads and exit"
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "kernels",
+        help="int64 NTT kernels vs the pure-Python oracle: parity + speedup",
+    )
+    p.add_argument(
+        "--degrees",
+        default="4096",
+        help="comma-separated ring degrees to check (powers of two)",
+    )
+    p.add_argument(
+        "--limbs", type=int, default=8, help="RNS limb count per degree"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="min-of-k timing repeats"
+    )
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the vectorized/oracle speedup reaches this",
+    )
+    p.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="skip timing; only assert bit-exact oracle parity (CI mode)",
+    )
+    p.add_argument("--seed", type=int, default=2012, help="input PRNG seed")
+    p.add_argument(
+        "--json", action="store_true", help="emit a JSON report to stdout"
+    )
+    p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser(
         "memsim",

@@ -22,6 +22,7 @@ __all__ = [
     "ALLOWED_PAYLOAD_KEYS",
     "EVENTS_HOME",
     "EXACT_DIRS",
+    "KERNEL_DIRS",
     "MEMSIM_ACCOUNTING_HOME",
     "MEMSIM_TRACE_HOME",
     "PROFILER_HOME",
@@ -46,6 +47,13 @@ ACCOUNTING_CORE_FILES = (
 #: Exact integer paths that must stay float-free
 #: (:class:`~repro.lint.rules.exact.ExactArithPurity`).
 EXACT_DIRS = ("numth", "ring")
+
+#: The vectorized arithmetic kernels: exact like :data:`EXACT_DIRS` —
+#: every value is an int64/uint64 residue and the differential tests
+#: assert bit-identity against the pure-Python oracle — but numpy is the
+#: whole point, so only the numpy-import check is waived there
+#: (:class:`~repro.lint.rules.exact.ExactArithPurity`).
+KERNEL_DIRS = ("kernels",)
 
 #: The sole sanctioned module for host resource sampling
 #: (:class:`~repro.lint.rules.telemetry.TelemetryDiscipline`).
@@ -113,7 +121,12 @@ VOLATILE_CHANNEL_FILES = (
 #:
 #: * ``serve/arrivals.py`` — the serving simulator's only entropy
 #:   source: seeded Poisson/bursty/diurnal arrival processes.
-SEEDED_STREAM_FILES = ("serve/arrivals.py",)
+#: * ``kernels/check.py`` — the differential-check harness behind
+#:   ``repro kernels``: residue inputs come off a string-seeded stream
+#:   so the parity verdict is a pure function of the seed; its
+#:   ``runtime`` block is host wall-clock by contract, mirroring the
+#:   timing fields every other report family carries.
+SEEDED_STREAM_FILES = ("serve/arrivals.py", "kernels/check.py")
 
 #: Report-payload keys that hold scheduling- or host-dependent values by
 #: contract.  A tainted value is legal under these keys because every

@@ -18,6 +18,13 @@ Flagged inside ``numth/`` and ``ring/`` only:
   ``prod``);
 * any ``numpy`` import (its integer dtypes overflow silently and its
   default dtypes are floats).
+
+``kernels/`` is held to the same float-free standard — its int64/uint64
+residue arrays must stay bit-identical to the oracle — except for the
+numpy-import check, which is waived there because vectorizing over numpy
+is the package's entire purpose (overflow safety is carried by the
+``q < 2**30`` headroom argument in its module docstrings and enforced by
+the differential tests).
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ import ast
 from typing import Iterable, Optional
 
 from repro.lint.core import FileContext, Finding, Rule
-from repro.lint.program.scopes import EXACT_DIRS
+from repro.lint.program.scopes import EXACT_DIRS, KERNEL_DIRS
 from repro.lint.registry import register
 
 __all__ = ["ExactArithPurity"]
@@ -42,8 +49,9 @@ _FLOAT_BUILTINS = frozenset({"float", "complex"})
 class ExactArithPurity(Rule):
     name = "ExactArithPurity"
     description = (
-        "numth/ and ring/ are exact integer paths: no `/`, float/complex "
-        "literals, float() builtins, non-exact math.* or numpy imports"
+        "numth/, ring/ and kernels/ are exact integer paths: no `/`, "
+        "float/complex literals, float() builtins or non-exact math.*; "
+        "numpy imports are additionally banned outside kernels/"
     )
     node_types = (
         ast.BinOp,
@@ -58,7 +66,8 @@ class ExactArithPurity(Rule):
     def visit(
         self, node: ast.AST, ctx: FileContext
     ) -> Optional[Iterable[Finding]]:
-        if not ctx.in_dir(*EXACT_DIRS):
+        in_kernels = ctx.in_dir(*KERNEL_DIRS)
+        if not in_kernels and not ctx.in_dir(*EXACT_DIRS):
             return None
         if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
             node.op, ast.Div
@@ -110,6 +119,10 @@ class ExactArithPurity(Rule):
                     f"{', '.join(sorted(EXACT_MATH))} are allowed here",
                 )
             ]
+        if in_kernels:
+            # The kernels package exists to vectorize over numpy; the
+            # import checks below do not apply there.
+            return None
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name.split(".")[0] == "numpy":

@@ -21,10 +21,16 @@ from repro.obs import state as obs
 
 
 def _bit_reverse_table(n: int) -> List[int]:
+    """Bit-reversal permutation of ``range(n)`` for a power of two ``n``.
+
+    Uses the arithmetic recurrence ``rev[i] = rev[i >> 1] >> 1 | (i & 1)
+    << (bits - 1)``: the reversal of ``i`` is the reversal of ``i >> 1``
+    shifted right once, with ``i``'s low bit moved to the top position.
+    """
     bits = n.bit_length() - 1
     table = [0] * n
-    for i in range(n):
-        table[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    for i in range(1, n):
+        table[i] = table[i >> 1] >> 1 | (i & 1) << (bits - 1)
     return table
 
 

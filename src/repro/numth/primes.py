@@ -51,20 +51,52 @@ def is_prime(n: int) -> bool:
     return True
 
 
+#: Iterates between gcd evaluations in Brent's cycle detection; gcds are
+#: accumulated as a running product so each batch costs one gcd, not _GCD_BATCH.
+_GCD_BATCH = 128
+
+
 def _pollard_rho(n: int) -> int:
-    """Return a non-trivial factor of composite ``n`` (Brent's variant)."""
+    """Return a non-trivial factor of composite ``n`` (Brent's variant).
+
+    Brent's cycle detection keeps a fixed reference point ``x`` and races
+    ``y`` through ``2^k``-length segments, so it needs one polynomial step
+    per iterate instead of Floyd's three.  The gcds are batched: up to
+    ``_GCD_BATCH`` differences are multiplied together modulo ``n`` before
+    a single gcd.  When the batched gcd jumps straight to ``n`` (two
+    factors collapsed into one batch), the segment is replayed one step at
+    a time from the saved position ``ys`` to recover the earlier of the
+    two factors instead of burning the ``c`` retry.
+    """
     if n % 2 == 0:
         return 2
     for c in range(1, 100):
-        x = y = 2
-        d = 1
-        while d == 1:
-            x = (x * x + c) % n
-            y = (y * y + c) % n
-            y = (y * y + c) % n
-            d = math.gcd(abs(x - y), n)
-        if d != n:
-            return d
+        y = 2
+        r = 1
+        q = 1
+        g = 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(_GCD_BATCH, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += _GCD_BATCH
+            r *= 2
+        if g == n:
+            # The batch skipped past the factor; replay it stepwise.
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
     raise ArithmeticError(f"pollard-rho failed to factor {n}")
 
 

@@ -63,8 +63,13 @@ def normalize_report(report: Dict[str, Any]) -> Dict[str, Any]:
 
     Wall-clock fields are zeroed and resource samples (run-level
     ``resources`` block, per-span ``meta.resource``) dropped — both are
-    machine noise.  The ``provenance`` block is kept: it is what makes a
-    committed baseline attributable to the commit that produced it.
+    machine noise.  Gauges under the ``host.`` prefix are zeroed for the
+    same reason: that prefix is the convention for host measurements
+    (engine wall-clock, speedup ratios) recorded by workloads such as the
+    ``kernels`` micro-bench; the live values are tracked in the
+    ``BENCH_*.json`` trajectories instead.  The ``provenance`` block is
+    kept: it is what makes a committed baseline attributable to the
+    commit that produced it.
     """
     normalized = copy.deepcopy(report)
     normalized["wall_seconds"] = 0.0
@@ -76,6 +81,13 @@ def normalize_report(report: Dict[str, Any]) -> Dict[str, Any]:
         meta = span.get("meta")
         if isinstance(meta, dict):
             meta.pop("resource", None)
+    metrics = normalized.get("metrics")
+    if isinstance(metrics, dict):
+        gauges = metrics.get("gauges")
+        if isinstance(gauges, dict):
+            for name in gauges:
+                if name.startswith("host."):
+                    gauges[name] = 0.0
     return normalized
 
 

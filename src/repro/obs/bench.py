@@ -83,7 +83,7 @@ def validate_bench_trajectory(payload: Any) -> None:
 class BenchSpec:
     """One bench workload: what to run and which baseline gates it."""
 
-    workload: str  # "micro" | "bootstrap" | "helr" | "resnet" | "memsim" | "sweep" | "serve"
+    workload: str  # "micro" | "bootstrap" | "helr" | "resnet" | "memsim" | "sweep" | "serve" | "kernels"
     params: str  # parameter-set name in repro.cli._PARAM_SETS
     config: str  # MAD config name in repro.cli._CONFIGS
     cache_mb: Optional[float] = None
@@ -109,6 +109,7 @@ DEFAULT_SPECS: Tuple[BenchSpec, ...] = (
     BenchSpec("memsim", "baseline", "caching", cache_mb=32.0),
     BenchSpec("sweep", "baseline", "all"),
     BenchSpec("serve", "optimal", "all"),
+    BenchSpec("kernels", "baseline", "none"),
 )
 
 
@@ -235,6 +236,106 @@ def sweep_micro_cost(params, config):
     return total
 
 
+def kernels_micro_cost(
+    params, config, degree: int = 4096, limbs: int = 8, repeats: int = 3
+):
+    """Traced NTT-kernel micro-workload: the int64 engine vs its oracle.
+
+    One forward+inverse round trip of the whole RNS basis (``limbs``
+    sub-``2**30`` moduli at ring degree ``degree``), executed on both the
+    vectorized :class:`repro.kernels.ntt.BatchNttKernel` and the
+    pure-Python :class:`repro.numth.ntt.NttContext` oracle with min-of-k
+    timing.  The *gated* cost is the closed-form transform model — per
+    direction and limb: ``N`` twist multiplies plus ``N/2 * log2 N``
+    butterfly multiplies and ``N * log2 N`` butterfly adds, moving the
+    limb-major ``(L, N)`` int64 matrix once per stage pass — identical
+    for the two engines by construction, so the gate pins the modeled
+    work while the run itself asserts the engines agree bit-for-bit.
+
+    Wall-clock and the vectorized/oracle speedup land in ``host.``-
+    prefixed gauges: report-only, zeroed in committed baselines and
+    tracked per machine in the ``BENCH_kernels.json`` trajectory.
+
+    ``params`` and ``config`` are part of the signature so the spec's
+    baseline key stays self-describing; the workload is parameterised by
+    ``(degree, limbs)`` instead.
+    """
+    import random
+
+    from repro.kernels.ntt import BatchNttKernel
+    from repro.numth import NttContext, find_ntt_primes
+    from repro.perf.events import CostReport, MemTraffic, OpCount
+
+    del params, config
+    primes = find_ntt_primes(30, degree, limbs)
+    contexts = [NttContext(degree, q) for q in primes]
+    kernel = BatchNttKernel(degree, primes, contexts)
+    rng = random.Random(2012)
+    rows = [[rng.randrange(q) for _ in range(degree)] for q in primes]
+
+    log_n = degree.bit_length() - 1
+    limb_bytes = limbs * degree * 8
+    per_direction = CostReport(
+        ops=OpCount(
+            mults=limbs * (degree + (degree // 2) * log_n),
+            adds=limbs * degree * log_n,
+        ),
+        # One read+write pass over the limb-major matrix per stage level,
+        # plus the psi twist (forward) / untwist (inverse) pass.
+        traffic=MemTraffic(
+            ct_read=limb_bytes * (log_n + 1),
+            ct_write=limb_bytes * (log_n + 1),
+        ),
+    )
+    round_trip = per_direction + per_direction
+
+    def best_of(run: Callable[[], Any]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    total = CostReport()
+    with obs.span(
+        "KernelsMicro", degree=degree, limbs=limbs, repeats=repeats
+    ):
+        with obs.span("ntt:oracle", engine="oracle"):
+            oracle_seconds = best_of(
+                lambda: [
+                    ctx.inverse(ctx.forward(row))
+                    for ctx, row in zip(contexts, rows)
+                ]
+            )
+            obs.record_cost(round_trip)
+        total = total + round_trip
+        with obs.span("ntt:vectorized", engine="vectorized"):
+            vectorized_seconds = best_of(
+                lambda: kernel.inverse(kernel.forward(rows))
+            )
+            obs.record_cost(round_trip)
+        total = total + round_trip
+
+        # Differential gate: the bench refuses to report a speedup for an
+        # engine that diverged from the oracle.
+        fwd = kernel.forward(rows)
+        if fwd.tolist() != [
+            ctx.forward(row) for ctx, row in zip(contexts, rows)
+        ] or kernel.inverse(fwd).tolist() != rows:
+            raise RuntimeError(
+                "vectorized NTT diverged from the pure-Python oracle at "
+                f"degree={degree}, limbs={limbs}"
+            )
+        obs.annotate(parity="bit-exact")
+        obs.gauge("host.kernels.oracle_seconds", oracle_seconds)
+        obs.gauge("host.kernels.vectorized_seconds", vectorized_seconds)
+        obs.gauge(
+            "host.kernels.speedup", oracle_seconds / vectorized_seconds
+        )
+    return total
+
+
 def serve_micro_cost(params, config):
     """Traced serving micro-workload: the ``micro`` scenario, one fleet.
 
@@ -287,6 +388,8 @@ def _runner(spec: BenchSpec) -> Tuple[Callable[[], Any], str]:
 
     if spec.workload == "micro":
         return lambda: primitive_micro_cost(params, config, cache), "micro"
+    if spec.workload == "kernels":
+        return lambda: kernels_micro_cost(params, config), "kernels"
     if spec.workload == "sweep":
         return lambda: sweep_micro_cost(params, config), "sweep"
     if spec.workload == "serve":
@@ -383,10 +486,19 @@ def _append_trajectory(
             pass  # corrupt trajectory: start a fresh one
     from repro.obs.events import provenance as build_provenance
 
+    # Host-measurement gauges (wall-clock, engine speedups) are the whole
+    # point of a trajectory: they are zeroed in the committed *baseline*
+    # but tracked per machine here.
+    host_gauges = {
+        name: value
+        for name, value in report["metrics"].get("gauges", {}).items()
+        if name.startswith("host.")
+    }
     trajectory["entries"].append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "provenance": build_provenance(),
+            "host_gauges": host_gauges,
             "wall_seconds": runner_seconds,
             "trace_wall_seconds": report["wall_seconds"],
             "ops_total": report["totals"]["ops"]["total"],

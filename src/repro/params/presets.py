@@ -8,6 +8,8 @@ Table 5 of the paper).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.params.ckks import CkksParams
 
 #: Baseline bootstrapping parameters (Jung et al. [20]); Table 5 row 1.
@@ -38,12 +40,18 @@ def toy_params(
     dnum: int = 3,
     fft_iter: int = 1,
     eval_mod_depth: int = 2,
+    log_special: Optional[int] = None,
 ) -> CkksParams:
     """Small parameter set for the functional CKKS layer and unit tests.
 
     These parameters are *not* secure — they exist so the exact-arithmetic
     scheme runs in milliseconds while exercising the same algorithms the
     performance model counts.
+
+    ``log_special`` sizes the special (``P``) primes; the default reuses
+    ``log_q``, which makes ``P`` barely as large as the biggest key-switch
+    digit.  Deep circuits at big rings should pass ``log_q + 1`` so the
+    digit/overflow noise is shaved off by ModDown (see DESIGN.md §12).
     """
     return CkksParams(
         log_n=log_n,
@@ -52,4 +60,5 @@ def toy_params(
         dnum=dnum,
         fft_iter=fft_iter,
         eval_mod_depth=eval_mod_depth,
+        log_special=log_special,
     )

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import kernels
+from repro.kernels.ntt import BatchNttKernel
 from repro.numth import NttContext, find_ntt_primes
 from repro.numth.modular import mod_inverse
 
 # NTT plans are expensive to build; share them process-wide per (n, q).
 _NTT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+# Batched int64 kernels, keyed by (degree, moduli tuple).  The cache is
+# keyed independently of RnsBasis identity so derived bases (prefixes,
+# extensions, the dropped tail of a ModDown) reuse plans too.
+_KERNEL_CACHE: Dict[Tuple[int, Tuple[int, ...]], BatchNttKernel] = {}
 
 
 def _ntt_for(degree: int, modulus: int) -> NttContext:
@@ -18,6 +25,16 @@ def _ntt_for(degree: int, modulus: int) -> NttContext:
         ctx = NttContext(degree, modulus)
         _NTT_CACHE[key] = ctx
     return ctx
+
+
+def _kernel_for(degree: int, moduli: Tuple[int, ...]) -> BatchNttKernel:
+    key = (degree, moduli)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        contexts = [_ntt_for(degree, q) for q in moduli]
+        kernel = BatchNttKernel(degree, moduli, contexts)
+        _KERNEL_CACHE[key] = kernel
+    return kernel
 
 
 class RnsBasis:
@@ -91,6 +108,32 @@ class RnsBasis:
     def ntt_for_modulus(self, modulus: int) -> NttContext:
         """The NTT plan for an arbitrary compatible modulus."""
         return _ntt_for(self.degree, modulus)
+
+    def fast_kernel(self) -> Optional[BatchNttKernel]:
+        """The batched int64 NTT kernel for this basis, if applicable.
+
+        Returns ``None`` when the fast path is switched off
+        (:func:`repro.kernels.enabled`) or any limb modulus exceeds the
+        int64 bound — callers then run the pure-Python oracle, which is
+        bit-exact equal by the kernels' differential contract.
+        """
+        if not kernels.enabled() or not kernels.moduli_fit(self.moduli):
+            return None
+        return _kernel_for(self.degree, self.moduli)
+
+    def fast_kernel_for(
+        self, moduli: Sequence[int]
+    ) -> Optional[BatchNttKernel]:
+        """A batched kernel for an arbitrary compatible moduli tuple.
+
+        Used by basis conversion for limb sets that are not this basis
+        (a ModUp extension, a ModDown dropped tail).  Same gating as
+        :meth:`fast_kernel`.
+        """
+        mods = tuple(int(q) for q in moduli)
+        if not mods or not kernels.enabled() or not kernels.moduli_fit(mods):
+            return None
+        return _kernel_for(self.degree, mods)
 
     # ------------------------------------------------------------------
     # Derived bases

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro import kernels
 from repro.numth.modular import mod_inverse
 from repro.ring.basis import RnsBasis
 from repro.ring.polynomial import Representation, RnsPolynomial
@@ -52,6 +53,34 @@ def new_limb(
     return [v % target_modulus for v in out]
 
 
+def _new_limb_rows(
+    coeff_rows: Sequence[Sequence[int]],
+    source_basis: RnsBasis,
+    targets: Sequence[int],
+) -> List[List[int]]:
+    """All of ``targets``' new limbs at once, kernel-dispatched.
+
+    The vectorized path (:func:`repro.kernels.new_limbs_matrix`) needs
+    every source *and* target modulus inside the int64 bound; otherwise
+    each target limb falls back to the pure-Python :func:`new_limb`.
+    Both produce identical canonical rows.
+    """
+    target_list = [int(t) for t in targets]
+    if (
+        kernels.enabled()
+        and kernels.moduli_fit(source_basis.moduli)
+        and kernels.moduli_fit(target_list)
+    ):
+        return kernels.new_limbs_matrix(
+            coeff_rows,
+            list(source_basis.moduli),
+            source_basis.q_hat_inverses(),
+            [source_basis.q_stars_mod(t) for t in target_list],
+            target_list,
+        )
+    return [new_limb(coeff_rows, source_basis, t) for t in target_list]
+
+
 def mod_up(poly: RnsPolynomial, extension: Sequence[int]) -> RnsPolynomial:
     """Extend the RNS basis of ``poly`` by ``extension`` moduli (Algorithm 1).
 
@@ -65,12 +94,17 @@ def mod_up(poly: RnsPolynomial, extension: Sequence[int]) -> RnsPolynomial:
     if not extension:
         raise ValueError("extension basis must be non-empty")
     coeff = poly.to_coeff()
-    new_rows = []
-    for p in extension:
-        row = new_limb(coeff.limbs, poly.basis, p)
-        new_rows.append(poly.basis.ntt_for_modulus(p).forward(row))
+    new_rows = _new_limb_rows(coeff.limbs, poly.basis, extension)
+    kernel = poly.basis.fast_kernel_for(extension)
+    if kernel is not None:
+        new_rows = kernel.forward_rows(new_rows)
+    else:
+        new_rows = [
+            poly.basis.ntt_for_modulus(p).forward(row)
+            for p, row in zip(extension, new_rows)
+        ]
     merged = RnsBasis(poly.basis.degree, poly.basis.moduli + tuple(extension))
-    return RnsPolynomial(
+    return RnsPolynomial._wrap(
         merged, list(poly.limbs) + new_rows, Representation.EVAL
     )
 
@@ -94,22 +128,41 @@ def mod_down(poly: RnsPolynomial, drop: int) -> RnsPolynomial:
     p_product = dropped_basis.modulus
 
     # Line 1 (optimised): only the dropped limbs need coefficient form.
-    dropped_coeff = [
-        poly.basis.ntt_for_modulus(q).inverse(row)
-        for row, q in zip(poly.limbs[keep:], dropped_basis)
-    ]
-
-    rows = []
-    for i, q in enumerate(target_basis):
-        # Line 3: slot-wise conversion of the dropped part into limb q.
-        hat = new_limb(dropped_coeff, dropped_basis, q)
-        hat_eval = target_basis.ntt(i).forward(hat)
-        # Line 4: (x - x_hat) * P^{-1} mod q, pointwise in evaluation form.
-        p_inv = mod_inverse(p_product % q, q)
-        rows.append(
-            [(a - h) * p_inv % q for a, h in zip(poly.limbs[i], hat_eval)]
+    dropped_kernel = poly.basis.fast_kernel_for(dropped_basis.moduli)
+    if dropped_kernel is not None:
+        dropped_coeff: List[List[int]] = dropped_kernel.inverse_rows(
+            poly.limbs[keep:]
         )
-    return RnsPolynomial(target_basis, rows, Representation.EVAL)
+    else:
+        dropped_coeff = [
+            poly.basis.ntt_for_modulus(q).inverse(row)
+            for row, q in zip(poly.limbs[keep:], dropped_basis)
+        ]
+
+    # Line 3: slot-wise conversion of the dropped part into every kept limb.
+    hats = _new_limb_rows(dropped_coeff, dropped_basis, target_basis.moduli)
+    target_kernel = target_basis.fast_kernel()
+    if target_kernel is not None:
+        hat_evals: List[List[int]] = target_kernel.forward_rows(hats)
+    else:
+        hat_evals = [
+            target_basis.ntt(i).forward(hat) for i, hat in enumerate(hats)
+        ]
+
+    # Line 4: (x - x_hat) * P^{-1} mod q, pointwise in evaluation form.
+    p_invs = [mod_inverse(p_product % q, q) for q in target_basis]
+    if kernels.enabled() and kernels.moduli_fit(target_basis.moduli):
+        rows = kernels.sub_scale_mod(
+            poly.limbs[:keep], hat_evals, p_invs, list(target_basis.moduli)
+        )
+    else:
+        rows = [
+            [(a - h) * p_inv % q for a, h in zip(row, hat_eval)]
+            for row, hat_eval, p_inv, q in zip(
+                poly.limbs, hat_evals, p_invs, target_basis
+            )
+        ]
+    return RnsPolynomial._wrap(target_basis, rows, Representation.EVAL)
 
 
 def rescale(poly: RnsPolynomial) -> RnsPolynomial:
@@ -139,6 +192,6 @@ def p_mod_up(poly: RnsPolynomial, extension: Sequence[int]) -> RnsPolynomial:
     scaled = poly.scalar_mul(p_product)
     zero_rows = [[0] * poly.basis.degree for _ in extension]
     merged = RnsBasis(poly.basis.degree, poly.basis.moduli + tuple(extension))
-    return RnsPolynomial(
+    return RnsPolynomial._wrap(
         merged, list(scaled.limbs) + zero_rows, poly.representation
     )

@@ -71,11 +71,32 @@ class RnsPolynomial:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _wrap(
+        cls,
+        basis: RnsBasis,
+        rows: List[List[int]],
+        representation: Representation,
+    ) -> "RnsPolynomial":
+        """Trusted constructor for rows that are already canonical.
+
+        Internal call sites (NTT outputs, ``_zip_with`` results, kernel
+        rows) always produce residues in ``[0, q)`` with the right
+        shape, so the public constructor's per-coefficient ``% q``
+        normalisation pass would be pure overhead.  The wrapped object
+        takes ownership of ``rows``.
+        """
+        poly = cls.__new__(cls)
+        poly.basis = basis
+        poly.limbs = rows
+        poly.representation = representation
+        return poly
+
+    @classmethod
     def zero(
         cls, basis: RnsBasis, representation: Representation = Representation.EVAL
     ) -> "RnsPolynomial":
         rows = [[0] * basis.degree for _ in basis]
-        return cls(basis, rows, representation)
+        return cls._wrap(basis, rows, representation)
 
     @classmethod
     def from_int_coeffs(
@@ -87,10 +108,10 @@ class RnsPolynomial:
                 f"expected {basis.degree} coefficients, got {len(coeffs)}"
             )
         rows = [[c % q for c in coeffs] for q in basis]
-        return cls(basis, rows, Representation.COEFF)
+        return cls._wrap(basis, rows, Representation.COEFF)
 
     def clone(self) -> "RnsPolynomial":
-        return RnsPolynomial(
+        return RnsPolynomial._wrap(
             self.basis, [row[:] for row in self.limbs], self.representation
         )
 
@@ -130,22 +151,40 @@ class RnsPolynomial:
     # Representation changes
     # ------------------------------------------------------------------
     def to_eval(self) -> "RnsPolynomial":
-        """Return this element in evaluation form (l limb-wise NTTs)."""
+        """Return this element in evaluation form (l limb-wise NTTs).
+
+        Runs the batched int64 kernel when the basis supports it
+        (:meth:`RnsBasis.fast_kernel`), the pure-Python oracle
+        otherwise; both produce bit-identical rows.
+        """
         if self.representation is Representation.EVAL:
             return self
-        rows = [
-            self.basis.ntt(i).forward(row) for i, row in enumerate(self.limbs)
-        ]
-        return RnsPolynomial(self.basis, rows, Representation.EVAL)
+        kernel = self.basis.fast_kernel()
+        if kernel is not None:
+            rows = kernel.forward_rows(self.limbs)
+        else:
+            rows = [
+                self.basis.ntt(i).forward(row)
+                for i, row in enumerate(self.limbs)
+            ]
+        return RnsPolynomial._wrap(self.basis, rows, Representation.EVAL)
 
     def to_coeff(self) -> "RnsPolynomial":
-        """Return this element in coefficient form (l limb-wise iNTTs)."""
+        """Return this element in coefficient form (l limb-wise iNTTs).
+
+        Same kernel/oracle dispatch as :meth:`to_eval`.
+        """
         if self.representation is Representation.COEFF:
             return self
-        rows = [
-            self.basis.ntt(i).inverse(row) for i, row in enumerate(self.limbs)
-        ]
-        return RnsPolynomial(self.basis, rows, Representation.COEFF)
+        kernel = self.basis.fast_kernel()
+        if kernel is not None:
+            rows = kernel.inverse_rows(self.limbs)
+        else:
+            rows = [
+                self.basis.ntt(i).inverse(row)
+                for i, row in enumerate(self.limbs)
+            ]
+        return RnsPolynomial._wrap(self.basis, rows, Representation.COEFF)
 
     # ------------------------------------------------------------------
     # Arithmetic (limb-wise)
@@ -164,7 +203,7 @@ class RnsPolynomial:
             [op(a, b, q) for a, b in zip(ra, rb)]
             for ra, rb, q in zip(self.limbs, other.limbs, self.basis)
         ]
-        return RnsPolynomial(self.basis, rows, self.representation)
+        return RnsPolynomial._wrap(self.basis, rows, self.representation)
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         return self._zip_with(other, lambda a, b, q: (a + b) % q)
@@ -174,7 +213,7 @@ class RnsPolynomial:
 
     def __neg__(self) -> "RnsPolynomial":
         rows = [[(-a) % q for a in row] for row, q in zip(self.limbs, self.basis)]
-        return RnsPolynomial(self.basis, rows, self.representation)
+        return RnsPolynomial._wrap(self.basis, rows, self.representation)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Ring multiplication; both operands must be in evaluation form."""
@@ -188,7 +227,7 @@ class RnsPolynomial:
             [a * (scalar % q) % q for a in row]
             for row, q in zip(self.limbs, self.basis)
         ]
-        return RnsPolynomial(self.basis, rows, self.representation)
+        return RnsPolynomial._wrap(self.basis, rows, self.representation)
 
     def limb_scalar_mul(self, scalars: Sequence[int]) -> "RnsPolynomial":
         """Multiply limb ``i`` by ``scalars[i]`` (per-limb constants)."""
@@ -200,7 +239,7 @@ class RnsPolynomial:
             [a * (s % q) % q for a in row]
             for row, s, q in zip(self.limbs, scalars, self.basis)
         ]
-        return RnsPolynomial(self.basis, rows, self.representation)
+        return RnsPolynomial._wrap(self.basis, rows, self.representation)
 
     # ------------------------------------------------------------------
     # Galois automorphisms
@@ -234,7 +273,7 @@ class RnsPolynomial:
                 else:
                     out[e - n] = (out[e - n] - a) % q
             rows.append(out)
-        return RnsPolynomial(self.basis, rows, Representation.COEFF)
+        return RnsPolynomial._wrap(self.basis, rows, Representation.COEFF)
 
     def _automorph_eval(self, t: int) -> "RnsPolynomial":
         n = self.basis.degree
@@ -244,4 +283,4 @@ class RnsPolynomial:
         # Slot k of the output evaluates f at psi^{e_k * t}.
         source = [index_of_exp[exps[k] * t % two_n] for k in range(n)]
         rows = [[row[s] for s in source] for row in self.limbs]
-        return RnsPolynomial(self.basis, rows, Representation.EVAL)
+        return RnsPolynomial._wrap(self.basis, rows, Representation.EVAL)

@@ -166,3 +166,21 @@ class TestFullBootstrap:
 
     def test_default_k_bound_derived_from_secret(self, boot_env):
         assert boot_env["bs"].k_bound == 4 // 2 + 2
+
+    def test_fast_path_matches_oracle_bit_exactly(self, boot_env):
+        # The whole pipeline — encode, ModRaise, CoeffToSlot, EvalMod,
+        # SlotToCoeff, every KeySwitch — must produce the *identical*
+        # ciphertext whichever NTT/conversion engine the ring layer picks.
+        # This is the end-to-end form of the kernels' differential
+        # contract (tests/kernels pins it per-operation).
+        from repro import kernels
+
+        enc, bs = boot_env["enc"], boot_env["bs"]
+        z = np.array([0.25, -0.2, 0.1, 0.0, -0.15, 0.3, 0.05, -0.1])
+        ct = enc.encrypt_values(z, scale=2.0**23, limbs=1)
+        fast = bs.bootstrap(ct)
+        with kernels.oracle_only():
+            slow = bs.bootstrap(ct)
+        assert fast.scale == slow.scale
+        assert fast.c0 == slow.c0
+        assert fast.c1 == slow.c1

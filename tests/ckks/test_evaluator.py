@@ -146,8 +146,90 @@ class TestRescaleAndLevels:
         with pytest.raises(ValueError):
             evaluator.reduce_level(ct, 0)
 
+    def test_pt_mult_at_lands_on_target_scale(
+        self, encryptor, decryptor, evaluator, z1, z2
+    ):
+        ct = encryptor.encrypt_values(z1)
+        # A target no rescale prime would naturally produce.
+        target = ct.scale * 1.07
+        out = evaluator.pt_mult_at(ct, list(z2), target)
+        assert out.scale == target
+        assert out.num_limbs == ct.num_limbs - 1
+        assert _err(decryptor, out, z1 * z2) < 1e-4
 
-class TestGalois:
+    def test_pt_mult_at_requires_spare_level(self, encryptor, evaluator, z1):
+        ct = encryptor.encrypt_values(z1, limbs=1)
+        with pytest.raises(ValueError):
+            evaluator.pt_mult_at(ct, [1.0] * 8, ct.scale)
+
+    def test_match_scale_repairs_drifted_addition(
+        self, encryptor, decryptor, evaluator, z1, z2
+    ):
+        ct1 = encryptor.encrypt_values(z1)
+        # Drift ct2's scale well past the tolerance: the raw add must
+        # reject the pair, the matched add must decrypt correctly.
+        drifted = Ciphertext(ct1.c0, ct1.c1, ct1.scale * 1.2)
+        ct2 = encryptor.encrypt_values(z2)
+        with pytest.raises(ValueError):
+            evaluator.add(ct2, drifted)
+        out = evaluator.add(
+            ct2, evaluator.match_scale(drifted, ct2.scale)
+        )
+        # drifted's declared scale overstates the encoding by 1.2x, so
+        # its decrypted contribution is z1 / 1.2.
+        assert _err(decryptor, out, z2 + z1 / 1.2) < 1e-4
+
+    def test_match_scale_is_noop_within_tolerance(self, encryptor, evaluator, z1):
+        ct = encryptor.encrypt_values(z1)
+        nearly = ct.scale * (1.0 + evaluator.scale_rtol / 2)
+        assert evaluator.match_scale(ct, nearly) is ct
+
+    def test_match_scale_tight_rtol_forces_exact_landing(
+        self, encryptor, decryptor, evaluator, z1
+    ):
+        # A drift inside the additive 5% window but outside the caller's
+        # tighter budget must spend a level and land exactly on target.
+        ct = encryptor.encrypt_values(z1)
+        target = ct.scale * 1.01
+        out = evaluator.match_scale(ct, target, rtol=1e-9)
+        assert out is not ct
+        assert out.scale == target
+        assert out.num_limbs == ct.num_limbs - 1
+        assert _err(decryptor, out, z1) < 1e-2
+
+
+class TestKeySwitchNoiseHeadroom:
+    @staticmethod
+    def _rotation_error(log_special):
+        from repro.ckks import CkksContext, Decryptor, Encryptor, KeyGenerator
+        from repro.ckks.evaluator import Evaluator
+        from repro.params import toy_params
+
+        params = toy_params(
+            log_n=6, log_q=29, max_limbs=12, dnum=3, log_special=log_special
+        )
+        ctx = CkksContext(params, scale_bits=29, seed=7)
+        kg = KeyGenerator(ctx, hamming_weight=4)
+        enc = Encryptor(ctx, secret_key=kg.secret_key)
+        dec = Decryptor(ctx, kg.secret_key)
+        ev = Evaluator(ctx, rotation_keys={1: kg.rotation_key(1)})
+        rng = np.random.default_rng(3)
+        n = ctx.slots
+        z = rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n)
+        ct = enc.encrypt_values(z, scale=ctx.scale, limbs=params.max_limbs)
+        got = dec.decrypt_values(ev.rotate(ct, 1))
+        return np.max(np.abs(np.asarray(got) - np.roll(z, -1)))
+
+    def test_wider_special_primes_shave_key_switch_noise(self):
+        # With special primes the same width as the limbs, P is barely as
+        # large as the biggest digit, so the approximate-ModUp overflow
+        # (up to alpha * B * e) survives ModDown almost undamped.  One
+        # extra bit per special prime gives P an alpha-bit margin over B
+        # and the digit noise collapses; deep big-ring circuits (the
+        # N=2^14 bootstrap) depend on this headroom.
+        baseline = self._rotation_error(None)
+        headroom = self._rotation_error(30)
+        assert headroom < baseline / 3
     @pytest.mark.parametrize("steps", [1, 2, 3, 7])
     def test_rotate(self, encryptor, decryptor, evaluator, z1, steps):
         ct = evaluator.rotate(encryptor.encrypt_values(z1), steps)

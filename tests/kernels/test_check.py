@@ -1,0 +1,66 @@
+"""The differential-check harness behind ``repro kernels``."""
+
+import pytest
+
+from repro.kernels.check import (
+    KERNELS_REPORT_SCHEMA,
+    render_report,
+    run_check,
+    sample_rows,
+    validate_kernels_report,
+)
+
+
+class TestRunCheck:
+    def test_parity_passes_at_small_degrees(self):
+        report = run_check(degrees=(64, 128), limbs=2, repeats=1)
+        validate_kernels_report(report)
+        assert report["schema"] == KERNELS_REPORT_SCHEMA
+        assert report["passed"]
+        assert [e["degree"] for e in report["results"]] == [64, 128]
+        assert all(e["parity"] for e in report["results"])
+        assert [e["degree"] for e in report["runtime"]] == [64, 128]
+        assert all(e["speedup"] > 0 for e in report["runtime"])
+
+    def test_parity_only_skips_timing(self):
+        report = run_check(degrees=(64,), limbs=1, parity_only=True)
+        assert report["runtime"] == []
+        assert report["passed"]
+
+    def test_unreachable_min_speedup_fails(self):
+        # The oracle cannot be 1e9x slower; the gate must trip while
+        # parity itself stays green.
+        report = run_check(
+            degrees=(64,), limbs=1, repeats=1, min_speedup=1e9
+        )
+        assert not report["passed"]
+        assert all(e["parity"] for e in report["results"])
+
+    def test_rows_are_seed_deterministic_with_boundaries(self):
+        moduli = (97, 193)
+        first = sample_rows(16, moduli, seed=7)
+        assert first == sample_rows(16, moduli, seed=7)
+        assert first != sample_rows(16, moduli, seed=8)
+        for row, q in zip(first, moduli):
+            assert row[0] == 0 and row[1] == q - 1 and row[-1] == q - 1
+
+
+class TestValidateAndRender:
+    def test_validator_rejects_wrong_schema(self):
+        report = run_check(degrees=(64,), limbs=1, parity_only=True)
+        report["schema"] = "repro.kernels/v0"
+        with pytest.raises(ValueError):
+            validate_kernels_report(report)
+
+    def test_validator_rejects_missing_fields(self):
+        report = run_check(degrees=(64,), limbs=1, parity_only=True)
+        del report["results"][0]["parity"]
+        with pytest.raises(ValueError):
+            validate_kernels_report(report)
+
+    def test_render_mentions_every_degree_and_verdict(self):
+        report = run_check(degrees=(64,), limbs=2, repeats=1)
+        text = render_report(report)
+        assert "N=2^6" in text
+        assert "speedup" in text
+        assert text.endswith("PASS")

@@ -1,0 +1,86 @@
+"""Differential tests for the vectorized modular-reduction helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    FAST_MODULUS_BOUND,
+    SHOUP_SHIFT,
+    add_mod,
+    moduli_fit,
+    mul_mod,
+    mul_mod_shoup,
+    shoup_precompute,
+    sub_mod,
+)
+
+# Odd moduli spanning the full accepted range, including the boundary.
+_modulus = st.integers(3, FAST_MODULUS_BOUND - 1).map(lambda q: q | 1)
+
+
+class TestModuliFit:
+    def test_accepts_below_bound(self):
+        assert moduli_fit([3, 5, FAST_MODULUS_BOUND - 1])
+
+    def test_rejects_at_bound(self):
+        assert not moduli_fit([FAST_MODULUS_BOUND])
+
+    def test_rejects_trivial_modulus(self):
+        assert not moduli_fit([1])
+
+
+class TestShoup:
+    @settings(max_examples=200)
+    @given(data=st.data(), q=_modulus)
+    def test_matches_python_mulmod(self, data, q):
+        x = data.draw(st.lists(st.integers(0, q - 1), min_size=1, max_size=8))
+        w = data.draw(st.integers(0, q - 1))
+        q_arr = np.asarray([q], dtype=np.int64)[:, np.newaxis]
+        w_arr = np.asarray([[w]], dtype=np.int64)
+        w_shoup = shoup_precompute(w_arr, q_arr)
+        x_arr = np.asarray([x], dtype=np.int64)
+        got = mul_mod_shoup(x_arr, w_arr, w_shoup, q_arr)
+        assert got.tolist() == [[v * w % q for v in x]]
+
+    def test_precompute_is_floor_quotient(self):
+        q_arr = np.asarray([[97]], dtype=np.int64)
+        w_arr = np.asarray([[53]], dtype=np.int64)
+        got = shoup_precompute(w_arr, q_arr)
+        assert got.dtype == np.uint64
+        assert int(got[0, 0]) == (53 << SHOUP_SHIFT) // 97
+
+    def test_boundary_prime_worst_case_operands(self):
+        # Largest accepted modulus with maximal x and w: the overflow
+        # analysis in the module docstring must hold right at the edge.
+        q = FAST_MODULUS_BOUND - 1
+        q_arr = np.asarray([[q]], dtype=np.int64)
+        w_arr = np.asarray([[q - 1]], dtype=np.int64)
+        x_arr = np.asarray([[q - 1]], dtype=np.int64)
+        w_shoup = shoup_precompute(w_arr, q_arr)
+        got = mul_mod_shoup(x_arr, w_arr, w_shoup, q_arr)
+        assert int(got[0, 0]) == (q - 1) * (q - 1) % q
+
+
+class TestElementwiseOps:
+    @settings(max_examples=100)
+    @given(data=st.data(), q=_modulus)
+    def test_add_sub_mul_match_python(self, data, q):
+        a = data.draw(st.lists(st.integers(0, q - 1), min_size=1, max_size=8))
+        b = data.draw(
+            st.lists(
+                st.integers(0, q - 1), min_size=len(a), max_size=len(a)
+            )
+        )
+        q_arr = np.asarray([q], dtype=np.int64)[:, np.newaxis]
+        a_arr = np.asarray([a], dtype=np.int64)
+        b_arr = np.asarray([b], dtype=np.int64)
+        assert add_mod(a_arr, b_arr, q_arr).tolist() == [
+            [(x + y) % q for x, y in zip(a, b)]
+        ]
+        assert sub_mod(a_arr, b_arr, q_arr).tolist() == [
+            [(x - y) % q for x, y in zip(a, b)]
+        ]
+        assert mul_mod(a_arr, b_arr, q_arr).tolist() == [
+            [x * y % q for x, y in zip(a, b)]
+        ]

@@ -252,6 +252,23 @@ class TestExactArithPurity:
         )
         assert result.clean
 
+    def test_kernels_allow_numpy_but_stay_float_free(self, lint_tree):
+        result = lint_tree(
+            {
+                "kernels/ntt.py": """
+                import numpy as np
+
+                def untwist(x, n):
+                    return x * (1.0 / n)
+                """
+            },
+            rules=["ExactArithPurity"],
+        )
+        # The numpy import is sanctioned in kernels/; the float literal
+        # and the true division are not.
+        assert all(f.line == 5 for f in result.findings)
+        assert len(result.findings) == 2
+
     def test_floats_allowed_outside_exact_paths(self, lint_tree):
         result = lint_tree(
             {

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.numth import NttContext, find_ntt_primes
+from repro.numth.ntt import _bit_reverse_table
 
 
 def _naive_negacyclic_multiply(a, b, q):
@@ -18,6 +19,29 @@ def _naive_negacyclic_multiply(a, b, q):
             else:
                 out[k] = (out[k] + term) % q
     return out
+
+
+class TestBitReverseTable:
+    """Pins the arithmetic recurrence against the original string-based
+    construction (format → reverse → parse) it replaced."""
+
+    @staticmethod
+    def _string_based(n):
+        bits = n.bit_length() - 1
+        return [
+            int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256, 4096, 2**15])
+    def test_matches_string_construction(self, n):
+        assert _bit_reverse_table(n) == self._string_based(n)
+
+    @pytest.mark.parametrize("n", [2, 16, 1024])
+    def test_is_an_involution(self, n):
+        table = _bit_reverse_table(n)
+        assert sorted(table) == list(range(n))
+        assert all(table[table[i]] == i for i in range(n))
 
 
 @pytest.fixture(scope="module")

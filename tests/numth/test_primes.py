@@ -3,7 +3,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.numth import find_ntt_primes, is_prime, primitive_root, root_of_unity
 from repro.numth.modular import mod_pow
-from repro.numth.primes import factorize
+from repro.numth.primes import _pollard_rho, factorize
 
 
 class TestIsPrime:
@@ -50,6 +50,46 @@ class TestFactorize:
             assert is_prime(p)
             product *= p**e
         assert product == n
+
+
+class TestPollardRho:
+    #: Semiprimes whose c=1 Brent run collapses both factors into one gcd
+    #: batch (the batched gcd hits n), forcing the stepwise backtrack that
+    #: the old Floyd loop skipped — it burned a ``c`` retry instead.
+    BACKTRACK_SEMIPRIMES = (
+        (719791, 666143),
+        (595711, 767867),
+        (980717, 916073),
+    )
+
+    def test_even_shortcut(self):
+        assert _pollard_rho(2**20) == 2
+
+    def test_plain_semiprime(self):
+        p, q = 1_000_003, 1_000_033
+        d = _pollard_rho(p * q)
+        assert d in (p, q)
+
+    @pytest.mark.parametrize("p,q", BACKTRACK_SEMIPRIMES)
+    def test_backtrack_recovers_factor(self, p, q):
+        n = p * q
+        d = _pollard_rho(n)
+        assert d in (p, q)
+        assert factorize(n) == {p: 1, q: 1}
+
+    def test_square_of_prime(self):
+        p = 1_000_003
+        assert factorize(p * p) == {p: 2}
+
+    @settings(max_examples=20)
+    @given(st.integers(10**6, 10**7), st.integers(10**6, 10**7))
+    def test_factors_random_products(self, a, b):
+        factors = factorize(a * b)
+        product = 1
+        for p, e in factors.items():
+            assert is_prime(p)
+            product *= p**e
+        assert product == a * b
 
 
 class TestPrimitiveRoot:

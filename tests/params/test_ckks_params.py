@@ -94,6 +94,10 @@ class TestSizes:
         p = toy_params()
         assert 2 * p.plaintext_bytes(4) == p.ciphertext_bytes(4)
 
+    def test_toy_params_passes_log_special_through(self):
+        assert toy_params(log_q=29).special_bits == 29
+        assert toy_params(log_q=29, log_special=30).special_bits == 30
+
 
 class TestValidation:
     def test_rejects_bad_log_n(self):

@@ -13,6 +13,7 @@ import contextlib
 import numpy as np
 import pytest
 
+from repro.kernels.ntt import BatchNttKernel
 from repro.numth.ntt import NttContext
 from repro.params import toy_params
 from repro.ckks import (
@@ -26,10 +27,18 @@ from repro.ckks import (
 
 @contextlib.contextmanager
 def ntt_counter(monkeypatch):
-    """Count forward/inverse NTT invocations process-wide."""
+    """Count forward/inverse NTT limb-passes process-wide.
+
+    Both engines are instrumented in the same unit — one transformed
+    limb — so the closed forms hold whichever path the ring layer picks:
+    the pure-Python oracle does one call per limb, the batched int64
+    kernel one call per basis (counted at ``num_limbs`` passes).
+    """
     counts = {"forward": 0, "inverse": 0}
     original_forward = NttContext.forward
     original_inverse = NttContext.inverse
+    kernel_forward = BatchNttKernel.forward
+    kernel_inverse = BatchNttKernel.inverse
 
     def counting_forward(self, coeffs):
         counts["forward"] += 1
@@ -39,8 +48,18 @@ def ntt_counter(monkeypatch):
         counts["inverse"] += 1
         return original_inverse(self, evals)
 
+    def counting_kernel_forward(self, rows):
+        counts["forward"] += self.num_limbs
+        return kernel_forward(self, rows)
+
+    def counting_kernel_inverse(self, rows):
+        counts["inverse"] += self.num_limbs
+        return kernel_inverse(self, rows)
+
     monkeypatch.setattr(NttContext, "forward", counting_forward)
     monkeypatch.setattr(NttContext, "inverse", counting_inverse)
+    monkeypatch.setattr(BatchNttKernel, "forward", counting_kernel_forward)
+    monkeypatch.setattr(BatchNttKernel, "inverse", counting_kernel_inverse)
     try:
         yield counts
     finally:
